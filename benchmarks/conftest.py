@@ -1,0 +1,20 @@
+"""Shared fixtures and helpers for the benchmark suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.harness import BenchResult, BenchmarkProgram, Harness
+
+HARNESS = Harness()
+
+
+def bench_program(
+    benchmark, program: BenchmarkProgram, config: str
+) -> BenchResult:
+    """Run one (program, configuration) pair under pytest-benchmark."""
+    thunk = HARNESS.prepare(program, config)
+    benchmark.group = f"{program.figure}:{program.name}"
+    result = benchmark.pedantic(thunk, rounds=2, iterations=1, warmup_rounds=0)
+    assert isinstance(result, BenchResult)
+    return result

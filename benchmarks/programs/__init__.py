@@ -1,0 +1,18 @@
+"""Benchmark programs (untyped + typed versions) for figures 6–9."""
+
+from benchmarks.programs.gabriel import GABRIEL_PROGRAMS
+from benchmarks.programs.shootout import SHOOTOUT_PROGRAMS
+from benchmarks.programs.pseudoknot import PSEUDOKNOT_PROGRAMS
+from benchmarks.programs.large import LARGE_PROGRAMS
+
+ALL_PROGRAMS = (
+    GABRIEL_PROGRAMS + SHOOTOUT_PROGRAMS + PSEUDOKNOT_PROGRAMS + LARGE_PROGRAMS
+)
+
+__all__ = [
+    "GABRIEL_PROGRAMS",
+    "SHOOTOUT_PROGRAMS",
+    "PSEUDOKNOT_PROGRAMS",
+    "LARGE_PROGRAMS",
+    "ALL_PROGRAMS",
+]

@@ -1,0 +1,219 @@
+"""Fig. 6: Gabriel & Larceny micro-benchmarks.
+
+Classic Scheme benchmarks (Gabriel 1985; Larceny suite), each in the
+original untyped form and a Typed Racket-style translation. Workload sizes
+are scaled to the interpreter substrate (DESIGN.md §3) — the comparison
+*between configurations* is what reproduces the figure.
+"""
+
+from __future__ import annotations
+
+from benchmarks.harness import BenchmarkProgram
+
+TAK_UNTYPED = """
+(define (tak x y z)
+  (if (not (< y x))
+      z
+      (tak (tak (- x 1) y z)
+           (tak (- y 1) z x)
+           (tak (- z 1) x y))))
+(displayln (tak 18 12 6))
+"""
+
+TAK_TYPED = """
+(: tak (Integer Integer Integer -> Integer))
+(define (tak x y z)
+  (if (not (< y x))
+      z
+      (tak (tak (- x 1) y z)
+           (tak (- y 1) z x)
+           (tak (- z 1) x y))))
+(displayln (tak 18 12 6))
+"""
+
+CPSTAK_UNTYPED = """
+(define (cps-tak x y z k)
+  (if (not (< y x))
+      (k z)
+      (cps-tak (- x 1) y z
+        (lambda (v1)
+          (cps-tak (- y 1) z x
+            (lambda (v2)
+              (cps-tak (- z 1) x y
+                (lambda (v3) (cps-tak v1 v2 v3 k)))))))))
+(displayln (cps-tak 16 10 4 (lambda (a) a)))
+"""
+
+CPSTAK_TYPED = """
+(: cps-tak (Integer Integer Integer (Integer -> Integer) -> Integer))
+(define (cps-tak x y z k)
+  (if (not (< y x))
+      (k z)
+      (cps-tak (- x 1) y z
+        (lambda (v1)
+          (cps-tak (- y 1) z x
+            (lambda (v2)
+              (cps-tak (- z 1) x y
+                (lambda (v3) (cps-tak v1 v2 v3 k)))))))))
+(: identity-k (Integer -> Integer))
+(define (identity-k a) a)
+(displayln (cps-tak 16 10 4 identity-k))
+"""
+
+FIB_UNTYPED = """
+(define (fib n)
+  (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))
+(displayln (fib 20))
+"""
+
+FIB_TYPED = """
+(: fib (Integer -> Integer))
+(define (fib n)
+  (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))
+(displayln (fib 20))
+"""
+
+ACK_UNTYPED = """
+(define (ack m n)
+  (if (= m 0)
+      (+ n 1)
+      (if (= n 0)
+          (ack (- m 1) 1)
+          (ack (- m 1) (ack m (- n 1))))))
+(displayln (ack 2 9))
+"""
+
+ACK_TYPED = """
+(: ack (Integer Integer -> Integer))
+(define (ack m n)
+  (if (= m 0)
+      (+ n 1)
+      (if (= n 0)
+          (ack (- m 1) 1)
+          (ack (- m 1) (ack m (- n 1))))))
+(displayln (ack 2 9))
+"""
+
+DIVITER_UNTYPED = """
+(define (create-n n acc)
+  (if (= n 0) acc (create-n (- n 1) (cons 0 acc))))
+(define ll (create-n 200 '()))
+(define (div-loop l result)
+  (if (null? l)
+      result
+      (div-loop (cdr (cdr l)) (cons (car l) result))))
+(define (test-loop n count)
+  (if (= n 0)
+      count
+      (test-loop (- n 1) (+ count (length (div-loop ll '()))))))
+(displayln (test-loop 400 0))
+"""
+
+DIVITER_TYPED = """
+(: create-n (Integer (Listof Integer) -> (Listof Integer)))
+(define (create-n n acc)
+  (if (= n 0) acc (create-n (- n 1) (cons 0 acc))))
+(define ll : (Listof Integer) (create-n 200 '()))
+(: div-loop ((Listof Integer) (Listof Integer) -> (Listof Integer)))
+(define (div-loop l result)
+  (if (null? l)
+      result
+      (div-loop (cdr (cdr l)) (cons (car l) result))))
+(: test-loop (Integer Integer -> Integer))
+(define (test-loop n count)
+  (if (= n 0)
+      count
+      (test-loop (- n 1) (+ count (length (div-loop ll '()))))))
+(displayln (test-loop 400 0))
+"""
+
+SUMLOOP_UNTYPED = """
+(define (sum-to i n sum)
+  (if (> i n) sum (sum-to (+ i 1) n (+ sum i))))
+(define (outer k acc)
+  (if (= k 0) acc (outer (- k 1) (+ acc (sum-to 0 1000 0)))))
+(displayln (outer 120 0))
+"""
+
+SUMLOOP_TYPED = """
+(: sum-to (Integer Integer Integer -> Integer))
+(define (sum-to i n sum)
+  (if (> i n) sum (sum-to (+ i 1) n (+ sum i))))
+(: outer (Integer Integer -> Integer))
+(define (outer k acc)
+  (if (= k 0) acc (outer (- k 1) (+ acc (sum-to 0 1000 0)))))
+(displayln (outer 120 0))
+"""
+
+NQUEENS_UNTYPED = """
+(define (ok? row dist placed)
+  (if (null? placed)
+      #t
+      (if (= (car placed) (+ row dist))
+          #f
+          (if (= (car placed) (- row dist))
+              #f
+              (ok? row (+ dist 1) (cdr placed))))))
+(define (try-queens x y z)
+  (if (null? x)
+      (if (null? y) 1 0)
+      (+ (if (ok? (car x) 1 z)
+             (try-queens (append (cdr x) y) '() (cons (car x) z))
+             0)
+         (try-queens (cdr x) (cons (car x) y) z))))
+(displayln (try-queens (list 1 2 3 4 5 6 7) '() '()))
+"""
+
+NQUEENS_TYPED = """
+(: ok? (Integer Integer (Listof Integer) -> Boolean))
+(define (ok? row dist placed)
+  (if (null? placed)
+      #t
+      (if (= (car placed) (+ row dist))
+          #f
+          (if (= (car placed) (- row dist))
+              #f
+              (ok? row (+ dist 1) (cdr placed))))))
+(: try-queens ((Listof Integer) (Listof Integer) (Listof Integer) -> Integer))
+(define (try-queens x y z)
+  (if (null? x)
+      (if (null? y) 1 0)
+      (+ (if (ok? (car x) 1 z)
+             (try-queens (append (cdr x) y) '() (cons (car x) z))
+             0)
+         (try-queens (cdr x) (cons (car x) y) z))))
+(displayln (try-queens (list 1 2 3 4 5 6 7) '() '()))
+"""
+
+TRIANGLE_UNTYPED = """
+(define (tri-step n moves)
+  (if (= n 0)
+      moves
+      (tri-step (- n 1) (+ moves (remainder (* n 7) 11)))))
+(define (tri-outer k acc)
+  (if (= k 0) acc (tri-outer (- k 1) (+ acc (tri-step 2000 0)))))
+(displayln (tri-outer 30 0))
+"""
+
+TRIANGLE_TYPED = """
+(: tri-step (Integer Integer -> Integer))
+(define (tri-step n moves)
+  (if (= n 0)
+      moves
+      (tri-step (- n 1) (+ moves (remainder (* n 7) 11)))))
+(: tri-outer (Integer Integer -> Integer))
+(define (tri-outer k acc)
+  (if (= k 0) acc (tri-outer (- k 1) (+ acc (tri-step 2000 0)))))
+(displayln (tri-outer 30 0))
+"""
+
+GABRIEL_PROGRAMS: list[BenchmarkProgram] = [
+    BenchmarkProgram("tak", TAK_UNTYPED, TAK_TYPED, "7\n", "fig6"),
+    BenchmarkProgram("cpstak", CPSTAK_UNTYPED, CPSTAK_TYPED, "5\n", "fig6"),
+    BenchmarkProgram("fib", FIB_UNTYPED, FIB_TYPED, "6765\n", "fig6"),
+    BenchmarkProgram("ack", ACK_UNTYPED, ACK_TYPED, "21\n", "fig6"),
+    BenchmarkProgram("diviter", DIVITER_UNTYPED, DIVITER_TYPED, "40000\n", "fig6"),
+    BenchmarkProgram("sumloop", SUMLOOP_UNTYPED, SUMLOOP_TYPED, "60060000\n", "fig6"),
+    BenchmarkProgram("nqueens", NQUEENS_UNTYPED, NQUEENS_TYPED, "40\n", "fig6"),
+    BenchmarkProgram("triangle", TRIANGLE_UNTYPED, TRIANGLE_TYPED, "300180\n", "fig6"),
+]

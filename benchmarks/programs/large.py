@@ -1,0 +1,229 @@
+"""Fig. 9: the large benchmarks.
+
+The paper's large applications — a ray tracer, an industrial-strength FFT,
+and two purely functional data structures (Prashanth & Tobin-Hochstadt
+2010) — reproduced as full programs in the object language: a sphere ray
+tracer over float vectors, a recursive radix-2 FFT over Float-Complex
+vectors, a Banker's queue, and a merge sort over float lists.
+"""
+
+from __future__ import annotations
+
+from benchmarks.harness import BenchmarkProgram
+from benchmarks.programs.shootout import _strip_annotations
+
+# --- ray tracer --------------------------------------------------------------
+# scene: spheres as (Vectorof Float) [cx cy cz radius]; camera at origin
+# looking down -z; one directional light; brightness accumulated as checksum.
+
+RAYTRACE_TYPED = """
+(define spheres : (Listof (Vectorof Float))
+  (list (vector 0.0 0.0 -3.0 1.0)
+        (vector 1.5 0.5 -4.0 1.0)
+        (vector -1.5 -0.5 -2.5 0.5)))
+(: hit-distance ((Vectorof Float) Float Float Float -> Float))
+(define (hit-distance s dx dy dz)
+  ;; ray from origin: o + t*d; returns smallest positive t or -1.0
+  (define cx : Float (vector-ref s 0))
+  (define cy : Float (vector-ref s 1))
+  (define cz : Float (vector-ref s 2))
+  (define r : Float (vector-ref s 3))
+  (define b : Float (* 2.0 (+ (* dx (- 0.0 cx)) (+ (* dy (- 0.0 cy)) (* dz (- 0.0 cz))))))
+  (define c : Float (- (+ (* cx cx) (+ (* cy cy) (* cz cz))) (* r r)))
+  (define disc : Float (- (* b b) (* 4.0 c)))
+  (if (< disc 0.0)
+      -1.0
+      (/ (- (- 0.0 b) (sqrt disc)) 2.0)))
+(: nearest-hit ((Listof (Vectorof Float)) Float Float Float Float -> Float))
+(define (nearest-hit ss dx dy dz best)
+  (if (null? ss)
+      best
+      (nearest-hit (cdr ss) dx dy dz
+        (pick-nearer (hit-distance (car ss) dx dy dz) best))))
+(: pick-nearer (Float Float -> Float))
+(define (pick-nearer t best)
+  (if (< t 0.001) best (if (< t best) t best)))
+(: trace-pixel (Integer Integer -> Float))
+(define (trace-pixel px py)
+  (define dx : Float (/ (- (exact->inexact px) 12.0) 24.0))
+  (define dy : Float (/ (- (exact->inexact py) 12.0) 24.0))
+  (define dz : Float -1.0)
+  (define len : Float (sqrt (+ (* dx dx) (+ (* dy dy) (* dz dz)))))
+  (define t : Float (nearest-hit spheres (/ dx len) (/ dy len) (/ dz len) 1e30))
+  (if (< t 1e29) (/ 1.0 (+ 1.0 t)) 0.0))
+(: render (Integer Integer Float -> Float))
+(define (render px py acc)
+  (if (= py 24)
+      acc
+      (if (= px 24)
+          (render 0 (+ py 1) acc)
+          (render (+ px 1) py (+ acc (trace-pixel px py))))))
+(displayln (< 40.0 (render 0 0 0.0)))
+"""
+
+RAYTRACE_UNTYPED = _strip_annotations(RAYTRACE_TYPED)
+
+# --- FFT: recursive radix-2 Cooley-Tukey over Float-Complex vectors ------------
+
+FFT_TYPED = """
+(: evens-of ((Vectorof Float-Complex) -> (Vectorof Float-Complex)))
+(define (evens-of v)
+  (define n : Integer (quotient (vector-length v) 2))
+  (define out : (Vectorof Float-Complex) (make-vector n 0.0+0.0i))
+  (define (fill [i : Integer]) : Void
+    (if (= i n) (void) (begin (vector-set! out i (vector-ref v (* 2 i))) (fill (+ i 1)))))
+  (fill 0)
+  out)
+(: odds-of ((Vectorof Float-Complex) -> (Vectorof Float-Complex)))
+(define (odds-of v)
+  (define n : Integer (quotient (vector-length v) 2))
+  (define out : (Vectorof Float-Complex) (make-vector n 0.0+0.0i))
+  (define (fill [i : Integer]) : Void
+    (if (= i n) (void) (begin (vector-set! out i (vector-ref v (+ (* 2 i) 1))) (fill (+ i 1)))))
+  (fill 0)
+  out)
+(: twiddle (Integer Integer -> Float-Complex))
+(define (twiddle k n)
+  (define angle : Float (/ (* -6.283185307179586 (exact->inexact k)) (exact->inexact n)))
+  (make-rectangular (cos angle) (sin angle)))
+(: fft ((Vectorof Float-Complex) -> (Vectorof Float-Complex)))
+(define (fft v)
+  (define n : Integer (vector-length v))
+  (if (= n 1)
+      v
+      (combine (fft (evens-of v)) (fft (odds-of v)) n)))
+(: combine ((Vectorof Float-Complex) (Vectorof Float-Complex) Integer -> (Vectorof Float-Complex)))
+(define (combine es os n)
+  (define out : (Vectorof Float-Complex) (make-vector n 0.0+0.0i))
+  (define half : Integer (quotient n 2))
+  (define (fill [k : Integer]) : Void
+    (if (= k half)
+        (void)
+        (begin
+          (vector-set! out k
+            (+ (vector-ref es k) (* (twiddle k n) (vector-ref os k))))
+          (vector-set! out (+ k half)
+            (- (vector-ref es k) (* (twiddle k n) (vector-ref os k))))
+          (fill (+ k 1)))))
+  (fill 0)
+  out)
+(define signal : (Vectorof Float-Complex) (make-vector 256 0.0+0.0i))
+(: init-signal! (Integer -> Void))
+(define (init-signal! i)
+  (if (= i 256)
+      (void)
+      (begin
+        (vector-set! signal i
+          (make-rectangular (sin (* 0.1 (exact->inexact i))) 0.0))
+        (init-signal! (+ i 1)))))
+(init-signal! 0)
+(define spectrum : (Vectorof Float-Complex) (fft signal))
+(: magnitude-sum (Integer Float -> Float))
+(define (magnitude-sum i acc)
+  (if (= i 256) acc (magnitude-sum (+ i 1) (+ acc (magnitude (vector-ref spectrum i))))))
+(displayln (< 50.0 (magnitude-sum 0 0.0)))
+"""
+
+FFT_UNTYPED = _strip_annotations(FFT_TYPED)
+
+# --- Banker's queue (purely functional data structure) --------------------------
+# queue = (Pairof front-list rear-list); enqueue conses onto rear; dequeue
+# takes from front, reversing rear when the front empties.
+
+BANKERS_QUEUE_TYPED = """
+(: queue-empty (-> (Pairof (Listof Integer) (Listof Integer))))
+(define (queue-empty) (cons '() '()))
+(: enqueue ((Pairof (Listof Integer) (Listof Integer)) Integer
+            -> (Pairof (Listof Integer) (Listof Integer))))
+(define (enqueue q x)
+  (balance (car q) (cons x (cdr q))))
+(: balance ((Listof Integer) (Listof Integer)
+            -> (Pairof (Listof Integer) (Listof Integer))))
+(define (balance front rear)
+  (if (null? front)
+      (cons (reverse rear) '())
+      (cons front rear)))
+(: queue-head ((Pairof (Listof Integer) (Listof Integer)) -> Integer))
+(define (queue-head q) (car (car q)))
+(: dequeue ((Pairof (Listof Integer) (Listof Integer))
+            -> (Pairof (Listof Integer) (Listof Integer))))
+(define (dequeue q) (balance (cdr (car q)) (cdr q)))
+(: fill (Integer (Pairof (Listof Integer) (Listof Integer))
+         -> (Pairof (Listof Integer) (Listof Integer))))
+(define (fill n q)
+  (if (= n 0) q (fill (- n 1) (enqueue q n))))
+(: drain ((Pairof (Listof Integer) (Listof Integer)) Integer -> Integer))
+(define (drain q acc)
+  (if (null? (car q))
+      acc
+      (drain (dequeue q) (+ acc (queue-head q)))))
+(: rounds (Integer Integer -> Integer))
+(define (rounds k acc)
+  (if (= k 0) acc (rounds (- k 1) (+ acc (drain (fill 400 (queue-empty)) 0))))
+  )
+(displayln (rounds 25 0))
+"""
+
+BANKERS_QUEUE_UNTYPED = _strip_annotations(BANKERS_QUEUE_TYPED)
+
+# --- merge sort over float lists -------------------------------------------------
+
+MSORT_TYPED = """
+(: halve ((Listof Float) (Listof Float) (Listof Float)
+          -> (Pairof (Listof Float) (Listof Float))))
+(define (halve lst a b)
+  (if (null? lst)
+      (cons a b)
+      (halve (cdr lst) (cons (car lst) b) a)))
+(: merge ((Listof Float) (Listof Float) -> (Listof Float)))
+(define (merge a b)
+  (if (null? a)
+      b
+      (if (null? b)
+          a
+          (if (< (car a) (car b))
+              (cons (car a) (merge (cdr a) b))
+              (cons (car b) (merge a (cdr b)))))))
+(: msort ((Listof Float) -> (Listof Float)))
+(define (msort lst)
+  (if (null? lst)
+      lst
+      (if (null? (cdr lst))
+          lst
+          (split-and-merge (halve lst '() '())))))
+(: split-and-merge ((Pairof (Listof Float) (Listof Float)) -> (Listof Float)))
+(define (split-and-merge halves)
+  (merge (msort (car halves)) (msort (cdr halves))))
+(: pseudo-randoms (Integer Float (Listof Float) -> (Listof Float)))
+(define (pseudo-randoms n seed acc)
+  (if (= n 0)
+      acc
+      (pseudo-randoms (- n 1) (* 3.9 (* seed (- 1.0 seed))) (cons seed acc))))
+(: is-sorted? ((Listof Float) -> Boolean))
+(define (is-sorted? lst)
+  (if (null? lst)
+      #t
+      (if (null? (cdr lst))
+          #t
+          (if (<= (car lst) (car (cdr lst)))
+              (is-sorted? (cdr lst))
+              #f))))
+(: run-rounds (Integer Boolean -> Boolean))
+(define (run-rounds k ok)
+  (if (= k 0)
+      ok
+      (run-rounds (- k 1)
+                  (if (is-sorted? (msort (pseudo-randoms 300 0.37 '()))) ok #f))))
+(displayln (run-rounds 12 #t))
+"""
+
+MSORT_UNTYPED = _strip_annotations(MSORT_TYPED)
+
+LARGE_PROGRAMS: list[BenchmarkProgram] = [
+    BenchmarkProgram("raytrace", RAYTRACE_UNTYPED, RAYTRACE_TYPED, "#t\n", "fig9"),
+    BenchmarkProgram("fft", FFT_UNTYPED, FFT_TYPED, "#t\n", "fig9"),
+    BenchmarkProgram(
+        "bankers-queue", BANKERS_QUEUE_UNTYPED, BANKERS_QUEUE_TYPED, "2005000\n", "fig9"
+    ),
+    BenchmarkProgram("msort", MSORT_UNTYPED, MSORT_TYPED, "#t\n", "fig9"),
+]

@@ -1,0 +1,277 @@
+"""Fig. 7: Computer Language Benchmarks Game programs.
+
+Scaled-down versions of the shootout benchmarks the paper evaluates
+("Benchmarks from the Computer Language Benchmarks Game ... use
+Racket-specific features and cannot be measured with other Scheme
+compilers"): nbody, spectralnorm, mandelbrot (on Float-Complex — the §7.2
+arity-raising target), fannkuch, nsieve, partialsums.
+"""
+
+from __future__ import annotations
+
+from benchmarks.harness import BenchmarkProgram
+
+
+def _drop_declarations(source: str) -> str:
+    """Remove every top-level ``(: name type)`` form (may span lines)."""
+    out: list[str] = []
+    i = 0
+    while i < len(source):
+        if source.startswith("(: ", i):
+            depth = 0
+            j = i
+            while j < len(source):
+                if source[j] == "(":
+                    depth += 1
+                elif source[j] == ")":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                j += 1
+            i = j + 1
+            if i < len(source) and source[i] == "\n":
+                i += 1
+            continue
+        out.append(source[i])
+        i += 1
+    return "".join(out)
+
+
+def _strip_annotations(source: str) -> str:
+    """Derive the untyped version: drop ``(: name T)`` lines, rewrite
+    ``[x : T]`` formals to ``x``, and drop ``: T`` result/definition
+    annotations (types may contain parens nested two deep)."""
+    import re
+
+    out = _drop_declarations(source)
+    balanced = r"(?:[^\[\]()]|\((?:[^()]|\([^()]*\))*\))+?"
+    out = re.sub(rf"\[([^\s\[\]:]+) : {balanced}\]", r"\1", out)
+    out = re.sub(r" : \((?:[^()]|\([^()]*\))*\)", "", out)
+    out = re.sub(r" : [A-Z][A-Za-z-]*", "", out)
+    return out
+
+# --- nbody: 3-body gravitational simulation over flat float vectors -----------
+
+_NBODY_BODY = """
+({d} px : (Vectorof Float) (vector 0.0 4.84 8.34))
+({d} py : (Vectorof Float) (vector 0.0 -1.16 4.12))
+({d} vx : (Vectorof Float) (vector 0.0 0.60 -0.27))
+({d} vy : (Vectorof Float) (vector 0.0 0.76 0.49))
+({d} mass : (Vectorof Float) (vector 39.47 0.037 0.011))
+"""
+
+
+def _nbody() -> str:
+    decls = _NBODY_BODY.format(d="define")
+    ann_pair = "[i : Integer] [j : Integer]"
+    ann_int = "[i : Integer]"
+    ann_steps = "[steps : Integer]"
+    ret_f = " : Float"
+    ret_v = " : Void"
+    return f"""
+{decls}
+(define (interact {ann_pair}){ret_v}
+  (define dx : Float (- (vector-ref px i) (vector-ref px j)))
+  (define dy : Float (- (vector-ref py i) (vector-ref py j)))
+  (define dist : Float (sqrt (+ (* dx dx) (* dy dy))))
+  (define mag : Float (/ 0.01 (* dist (* dist dist))))
+  (vector-set! vx i (- (vector-ref vx i) (* dx (* (vector-ref mass j) mag))))
+  (vector-set! vy i (- (vector-ref vy i) (* dy (* (vector-ref mass j) mag))))
+  (vector-set! vx j (+ (vector-ref vx j) (* dx (* (vector-ref mass i) mag))))
+  (vector-set! vy j (+ (vector-ref vy j) (* dy (* (vector-ref mass i) mag)))))
+(define (move {ann_int}){ret_v}
+  (vector-set! px i (+ (vector-ref px i) (* 0.01 (vector-ref vx i))))
+  (vector-set! py i (+ (vector-ref py i) (* 0.01 (vector-ref vy i)))))
+(define (advance {ann_steps}){ret_v}
+  (if (= steps 0)
+      (void)
+      (begin
+        (interact 0 1) (interact 0 2) (interact 1 2)
+        (move 0) (move 1) (move 2)
+        (advance (- steps 1)))))
+(define (energy){ret_f}
+  (define dx01 : Float (- (vector-ref px 0) (vector-ref px 1)))
+  (define dy01 : Float (- (vector-ref py 0) (vector-ref py 1)))
+  (sqrt (+ (* dx01 dx01) (* dy01 dy01))))
+(advance 2500)
+(displayln (< 0.0 (energy)))
+"""
+
+
+
+
+
+NBODY_TYPED = _nbody()
+NBODY_UNTYPED = _strip_annotations(NBODY_TYPED)
+
+
+# --- spectralnorm ----------------------------------------------------------------
+
+SPECTRALNORM_TYPED = """
+(: eval-a (Integer Integer -> Float))
+(define (eval-a i j)
+  (/ 1.0 (exact->inexact (+ (quotient (* (+ i j) (+ i j 1)) 2) i 1))))
+(define n : Integer 30)
+(: mult-av ((Vectorof Float) (Vectorof Float) -> Void))
+(define (mult-av v out)
+  (define (row [i : Integer]) : Void
+    (if (= i n)
+        (void)
+        (begin
+          (vector-set! out i (row-sum i 0 0.0))
+          (row (+ i 1)))))
+  (define (row-sum [i : Integer] [j : Integer] [acc : Float]) : Float
+    (if (= j n) acc (row-sum i (+ j 1) (+ acc (* (eval-a i j) (vector-ref v j))))))
+  (row 0))
+(define u : (Vectorof Float) (make-vector n 1.0))
+(define w : (Vectorof Float) (make-vector n 0.0))
+(: iterate (Integer -> Void))
+(define (iterate k)
+  (if (= k 0)
+      (void)
+      (begin (mult-av u w) (mult-av w u) (iterate (- k 1)))))
+(iterate 6)
+(: dot ((Vectorof Float) (Vectorof Float) Integer Float -> Float))
+(define (dot a b i acc)
+  (if (= i n) acc (dot a b (+ i 1) (+ acc (* (vector-ref a i) (vector-ref b i))))))
+(displayln (< 0.0 (sqrt (/ (dot u w 0 0.0) (dot w w 0 0.0)))))
+"""
+
+SPECTRALNORM_UNTYPED = _strip_annotations(SPECTRALNORM_TYPED)
+
+
+# --- mandelbrot on Float-Complex ----------------------------------------------------
+
+MANDELBROT_TYPED = """
+(: iterations (Float-Complex -> Integer))
+(define (iterations c)
+  (define (go [z : Float-Complex] [i : Integer]) : Integer
+    (if (= i 30)
+        30
+        (if (> (magnitude z) 2.0)
+            i
+            (go (+ (* z z) c) (+ i 1)))))
+  (go 0.0+0.0i 0))
+(: row (Integer Integer Integer -> Integer))
+(define (row y x acc)
+  (if (= x 24)
+      acc
+      (row y (+ x 1)
+           (+ acc (iterations
+                   (make-rectangular
+                    (- (/ (exact->inexact x) 8.0) 2.0)
+                    (- (/ (exact->inexact y) 8.0) 1.5)))))))
+(: grid (Integer Integer -> Integer))
+(define (grid y acc)
+  (if (= y 24) acc (grid (+ y 1) (row y 0 acc))))
+(displayln (grid 0 0))
+"""
+
+MANDELBROT_UNTYPED = _strip_annotations(MANDELBROT_TYPED)
+
+
+# --- fannkuch --------------------------------------------------------------------
+
+FANNKUCH_TYPED = """
+(define n : Integer 6)
+(: vector-swap! ((Vectorof Integer) Integer Integer -> Void))
+(define (vector-swap! v i j)
+  (define tmp : Integer (vector-ref v i))
+  (vector-set! v i (vector-ref v j))
+  (vector-set! v j tmp))
+(: count-flips ((Vectorof Integer) -> Integer))
+(define (count-flips perm)
+  (define work : (Vectorof Integer) (vector-copy perm))
+  (define (flip [count : Integer]) : Integer
+    (define first : Integer (vector-ref work 0))
+    (if (= first 0)
+        count
+        (begin
+          (reverse-prefix 0 first)
+          (flip (+ count 1)))))
+  (define (reverse-prefix [lo : Integer] [hi : Integer]) : Void
+    (if (< lo hi)
+        (begin (vector-swap! work lo hi) (reverse-prefix (+ lo 1) (- hi 1)))
+        (void)))
+  (flip 0))
+(define max-flips : (Vectorof Integer) (vector 0))
+(: permute ((Vectorof Integer) Integer -> Void))
+(define (permute perm k)
+  (if (= k 1)
+      (if (> (count-flips perm) (vector-ref max-flips 0))
+          (vector-set! max-flips 0 (count-flips perm))
+          (void))
+      (permute-loop perm k 0)))
+(: permute-loop ((Vectorof Integer) Integer Integer -> Void))
+(define (permute-loop perm k i)
+  (if (= i k)
+      (void)
+      (begin
+        (permute perm (- k 1))
+        (if (even? k)
+            (vector-swap! perm i (- k 1))
+            (vector-swap! perm 0 (- k 1)))
+        (permute-loop perm k (+ i 1)))))
+(: perm-index (Integer -> Integer))
+(define (perm-index i) i)
+(define perm : (Vectorof Integer) (build-vector n perm-index))
+(permute perm n)
+(displayln (vector-ref max-flips 0))
+"""
+
+FANNKUCH_UNTYPED = _strip_annotations(FANNKUCH_TYPED)
+
+
+# --- nsieve ---------------------------------------------------------------------
+
+NSIEVE_TYPED = """
+(define size : Integer 8000)
+(define flags : (Vectorof Boolean) (make-vector size #t))
+(: clear-multiples (Integer Integer -> Void))
+(define (clear-multiples step idx)
+  (if (< idx size)
+      (begin (vector-set! flags idx #f) (clear-multiples step (+ idx step)))
+      (void)))
+(: sieve (Integer Integer -> Integer))
+(define (sieve i count)
+  (if (= i size)
+      count
+      (if (vector-ref flags i)
+          (begin
+            (clear-multiples i (* i 2))
+            (sieve (+ i 1) (+ count 1)))
+          (sieve (+ i 1) count))))
+(displayln (sieve 2 0))
+"""
+
+NSIEVE_UNTYPED = _strip_annotations(NSIEVE_TYPED)
+
+
+# --- partialsums -----------------------------------------------------------------
+
+PARTIALSUMS_TYPED = """
+(: series (Float Float Float Float -> Float))
+(define (series k n s1 s2)
+  (if (> k n)
+      (+ s1 s2)
+      (series (+ k 1.0) n
+              (+ s1 (/ 1.0 (* k k)))
+              (+ s2 (/ (sin k) (* k (sqrt k)))))))
+(displayln (< 1.6 (series 1.0 12000.0 0.0 0.0)))
+"""
+
+PARTIALSUMS_UNTYPED = _strip_annotations(PARTIALSUMS_TYPED)
+
+
+SHOOTOUT_PROGRAMS: list[BenchmarkProgram] = [
+    BenchmarkProgram("nbody", NBODY_UNTYPED, NBODY_TYPED, "#t\n", "fig7"),
+    BenchmarkProgram(
+        "spectralnorm", SPECTRALNORM_UNTYPED, SPECTRALNORM_TYPED, "#t\n", "fig7"
+    ),
+    BenchmarkProgram("mandelbrot", MANDELBROT_UNTYPED, MANDELBROT_TYPED, "5172\n", "fig7"),
+    BenchmarkProgram("fannkuch", FANNKUCH_UNTYPED, FANNKUCH_TYPED, "10\n", "fig7"),
+    BenchmarkProgram("nsieve", NSIEVE_UNTYPED, NSIEVE_TYPED, "1007\n", "fig7"),
+    BenchmarkProgram(
+        "partialsums", PARTIALSUMS_UNTYPED, PARTIALSUMS_TYPED, "#t\n", "fig7"
+    ),
+]

@@ -1,0 +1,89 @@
+"""Regenerate the paper's figures 6-9 as text tables.
+
+Usage::
+
+    python benchmarks/run_figures.py            # all figures
+    python benchmarks/run_figures.py fig6 fig8  # a subset
+    python benchmarks/run_figures.py --repeats 3 --markdown
+
+Prints, per figure, runtime normalized to the untyped configuration
+(smaller is better — the paper's bar-chart convention), the typed/opt
+speedup percentage, and the deterministic dispatch-counter view.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Iterable
+
+if __package__ in (None, ""):
+    # allow `python benchmarks/run_figures.py`
+    import os
+
+    sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from benchmarks.harness import (
+    BenchResult,
+    BenchmarkProgram,
+    CONFIGURATIONS,
+    Harness,
+    counter_table,
+    normalized_table,
+)
+from benchmarks.programs import ALL_PROGRAMS
+
+FIGURE_TITLES = {
+    "fig6": "Figure 6: Gabriel and Larceny benchmarks (smaller is better)",
+    "fig7": "Figure 7: Computer Language Benchmark Game (smaller is better)",
+    "fig8": "Figure 8: pseudoknot (smaller is better)",
+    "fig9": "Figure 9: large benchmarks (smaller is better)",
+}
+
+
+def run_figure(
+    figure: str, harness: Harness, repeats: int
+) -> dict[str, dict[str, BenchResult]]:
+    programs = [p for p in ALL_PROGRAMS if p.figure == figure]
+    results: dict[str, dict[str, BenchResult]] = {}
+    for program in programs:
+        by_config: dict[str, BenchResult] = {}
+        for config in CONFIGURATIONS:
+            by_config[config] = harness.run(program, config, repeats=repeats)
+            print(
+                f"  ran {program.name:>14} [{config:<12}] "
+                f"{by_config[config].seconds:8.3f}s",
+                file=sys.stderr,
+            )
+        results[program.name] = by_config
+    return results
+
+
+def main(argv: Iterable[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "figures", nargs="*", default=[], help="fig6 fig7 fig8 fig9 (default: all)"
+    )
+    parser.add_argument("--repeats", type=int, default=2, help="runs per cell (keep best)")
+    parser.add_argument(
+        "--counters", action="store_true", help="also print the dispatch-counter tables"
+    )
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    figures = args.figures or list(FIGURE_TITLES)
+
+    harness = Harness()
+    for figure in figures:
+        if figure not in FIGURE_TITLES:
+            parser.error(f"unknown figure: {figure}")
+        print(f"\n{FIGURE_TITLES[figure]}")
+        print("=" * len(FIGURE_TITLES[figure]))
+        results = run_figure(figure, harness, args.repeats)
+        print(normalized_table(results))
+        if args.counters:
+            print()
+            print(counter_table(results))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

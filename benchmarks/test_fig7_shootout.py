@@ -1,0 +1,32 @@
+"""Fig. 7 regeneration: Computer Language Benchmarks Game programs
+(smaller is better)."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import bench_program
+from benchmarks.programs.shootout import SHOOTOUT_PROGRAMS
+
+_IDS = [p.name for p in SHOOTOUT_PROGRAMS]
+
+
+@pytest.mark.parametrize("program", SHOOTOUT_PROGRAMS, ids=_IDS)
+def test_fig7_untyped(benchmark, program):
+    result = bench_program(benchmark, program, "untyped")
+    assert result.generic_dispatches > 0
+
+
+@pytest.mark.parametrize("program", SHOOTOUT_PROGRAMS, ids=_IDS)
+def test_fig7_typed_opt(benchmark, program):
+    result = bench_program(benchmark, program, "typed/opt")
+    assert result.unsafe_ops > 0
+    # float-heavy programs lose the overwhelming majority of their dispatch
+    assert result.generic_dispatches < result.unsafe_ops
+
+
+@pytest.mark.parametrize("program", SHOOTOUT_PROGRAMS, ids=_IDS)
+def test_fig7_baseline(benchmark, program):
+    # the simulated less-optimizing comparison compiler (DESIGN.md §3)
+    result = bench_program(benchmark, program, "baseline")
+    assert result.generic_dispatches > 0

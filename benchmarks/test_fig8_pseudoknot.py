@@ -1,0 +1,33 @@
+"""Fig. 8 regeneration: pseudoknot (the float-intensive benchmark where the
+paper reports its largest optimizer win, a 123% speedup). All four
+configurations, since fig. 8 is a single-benchmark figure."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import HARNESS, bench_program
+from benchmarks.programs.pseudoknot import PSEUDOKNOT_PROGRAMS
+
+PSEUDOKNOT = PSEUDOKNOT_PROGRAMS[0]
+
+
+@pytest.mark.parametrize("config", ["untyped", "typed/opt", "typed/no-opt", "baseline"])
+def test_fig8_pseudoknot(benchmark, config):
+    result = bench_program(benchmark, PSEUDOKNOT, config)
+    if config == "typed/opt":
+        # nearly all float dispatch must be gone
+        assert result.unsafe_ops > 100_000
+        assert result.generic_dispatches < result.unsafe_ops / 100
+    else:
+        assert result.unsafe_ops == 0
+
+
+def test_fig8_shape_typed_opt_eliminates_dispatch():
+    """The deterministic core of the figure: the optimizer removes ~all of
+    pseudoknot's generic dispatches (which is what produced the paper's
+    large speedup on this benchmark)."""
+    untyped = HARNESS.run(PSEUDOKNOT, "untyped")
+    typed_opt = HARNESS.run(PSEUDOKNOT, "typed/opt")
+    assert untyped.output == typed_opt.output
+    assert typed_opt.generic_dispatches < untyped.generic_dispatches / 100

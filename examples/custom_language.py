@@ -1,0 +1,75 @@
+"""Building your own language as a library — the paper's core thesis.
+
+This example defines, at user level with no platform changes, a new
+language ``traced``: every top-level expression prints the source and the
+value it produced. The recipe is the one §2.3 describes — a language is a
+library providing (a) a base environment of bindings, and (b) a
+``#%module-begin`` that receives the entire module body.
+
+Run:  python examples/custom_language.py
+"""
+
+from repro import Runtime
+from repro.langs.base import expand_with, fn_macro
+from repro.modules.registry import Language
+from repro.syn.syntax import Syntax, syntax_to_datum, write_datum
+
+rt = Runtime()
+racket = rt.registry.language("racket")
+
+# -- 1. a new language, inheriting racket's bindings -----------------------------
+
+traced = Language("traced")
+traced.inherit(racket, exclude=("#%module-begin",))
+
+
+# -- 2. whole-module control via #%module-begin ----------------------------------
+
+
+@fn_macro(traced, "#%module-begin")
+def traced_module_begin(stx: Syntax, lang: Language) -> Syntax:
+    """Wrap each top-level expression with tracing output."""
+    wrapped = []
+    for form in stx.e[1:]:
+        source_text = write_datum(syntax_to_datum(form))
+        head = form.e[0].e.name if (isinstance(form.e, tuple) and form.e and
+                                    form.e[0].is_identifier()) else ""
+        if head in ("define", "define-values", "define-syntax", "require", "provide"):
+            wrapped.append(form)  # definitions pass through untouched
+        else:
+            wrapped.append(
+                expand_with(
+                    lang,
+                    '(begin (printf "~a  =>  " (quote text))'
+                    " (displayln form))",
+                    text=Syntax(source_text),
+                    form=form,
+                )
+            )
+    return expand_with(lang, "(#%plain-module-begin form ...)", form=wrapped)
+
+
+rt.registry.register_language(traced)
+
+# -- 3. write modules in it --------------------------------------------------------
+
+print(
+    rt.run_source(
+        """#lang traced
+(define (square x) (* x x))
+(square 7)
+(+ (square 3) (square 4))
+(map square (list 1 2 3))
+"""
+    )
+)
+
+# -- 4. language choice is per module: the same registry still runs racket ----------
+
+print(
+    rt.run_source(
+        """#lang racket
+(displayln "ordinary racket module, same platform")
+"""
+    )
+)

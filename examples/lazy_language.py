@@ -1,0 +1,66 @@
+"""A lazy language as a library (§1's "a lazy variant of Racket").
+
+The ``lazy`` language overrides only the implicit ``#%app`` hook (plus the
+strict positions): same reader, same expander, same runtime — a different
+*evaluation strategy*, delivered as a library.
+
+Run:  python examples/lazy_language.py
+"""
+
+from repro import Runtime
+
+rt = Runtime()
+
+print("== unused arguments are never evaluated ==")
+print(
+    rt.run_source(
+        """#lang lazy
+(define (choose which a b) (if which a b))
+(displayln (choose #t 'safe (error "the road not taken")))
+"""
+    )
+)
+
+print("== infinite data structures ==")
+print(
+    rt.run_source(
+        """#lang lazy
+(define (integers-from n) (cons n (integers-from (+ n 1))))
+(define naturals (integers-from 0))
+
+(define (take lst n)
+  (if (= n 0) '() (cons (car lst) (take (cdr lst) (- n 1)))))
+(define (sum lst) (if (null? lst) 0 (+ (car lst) (sum (cdr lst)))))
+
+(displayln (sum (take naturals 101)))  ; 0 + 1 + ... + 100
+
+;; the fibonacci stream, defined by self-reference
+(define (fibs-from a b) (cons a (fibs-from b (+ a b))))
+(define (nth lst n) (if (= n 0) (car lst) (nth (cdr lst) (- n 1))))
+(displayln (nth (fibs-from 0 1) 30))
+"""
+    )
+)
+
+print("== call-by-need: shared thunks evaluate once ==")
+print(
+    rt.run_source(
+        """#lang lazy
+(define (twice x) (+ x x))
+(displayln (twice (begin (display "[evaluating] ") 21)))
+"""
+    )
+)
+
+print("== the same module text is strict or lazy by #lang alone ==")
+body = """
+(define (first-of a b) a)
+(displayln (first-of 'ok (error "boom")))
+"""
+from repro import RuntimeReproError
+
+try:
+    rt.run_source("#lang racket" + body)
+except RuntimeReproError:
+    print("#lang racket: error reached (strict evaluation)")
+print("#lang lazy:  ", rt.run_source("#lang lazy" + body).strip())

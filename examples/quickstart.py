@@ -1,0 +1,75 @@
+"""Quickstart: running `#lang` modules on the repro platform.
+
+The platform is a Racket-style extensible language: modules declare their
+language on the first line, and every language — including the typed one —
+is implemented as a library on top of the same core.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Runtime
+
+rt = Runtime()
+
+# --- an untyped racket module ------------------------------------------------
+
+print("== #lang racket ==")
+print(
+    rt.run_source(
+        """#lang racket
+(define (greet name) (string-append "Hello, " name "!"))
+(displayln (greet "world"))
+
+;; macros, higher-order functions, the usual Scheme toolkit:
+(define-syntax swap!
+  (syntax-rules () [(_ a b) (let ([tmp a]) (set! a b) (set! b tmp))]))
+(define x 1)
+(define y 2)
+(swap! x y)
+(printf "after swap: x=~a y=~a~n" x y)
+
+(displayln (for/list ([i (in-range 5)]) (* i i)))
+(displayln (match (list 1 2 3) [(list a b c) (+ a b c)]))
+"""
+    )
+)
+
+# --- the same platform, different language: typed ------------------------------
+
+print("== #lang typed ==")
+print(
+    rt.run_source(
+        """#lang typed
+(: fib (Integer -> Integer))
+(define (fib n)
+  (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))
+(displayln (fib 25))
+
+(define (hypotenuse [a : Float] [b : Float]) : Float
+  (sqrt (+ (* a a) (* b b))))
+(displayln (hypotenuse 3.0 4.0))
+"""
+    )
+)
+
+# --- type errors are compile-time errors ----------------------------------------
+
+print("== a type error ==")
+from repro import TypeCheckError
+
+try:
+    rt.run_source("#lang typed\n(define x : Integer 3.7)")
+except TypeCheckError as error:
+    print(f"rejected at compile time: {error}")
+
+# --- the count language from the paper (§2.3) ------------------------------------
+
+print("\n== #lang count ==")
+print(
+    rt.run_source(
+        """#lang count
+(printf "*~a" (+ 1 2))
+(printf "*~a" (- 4 3))
+"""
+    )
+)

@@ -1,0 +1,92 @@
+"""Procedure application with trampolined tail calls.
+
+The object language guarantees proper tail calls (benchmarks are written with
+tail-recursive loops, as Scheme programs are). Compiled code in tail position
+returns a :class:`TailCall` record instead of recursing; the driver loop in
+:func:`apply_procedure` unwinds it, keeping the Python stack flat.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ArityError, ContractViolation, RuntimeReproError
+from repro.runtime.stats import STATS
+from repro.runtime.values import (
+    Closure,
+    ContractedProcedure,
+    Primitive,
+    Procedure,
+)
+
+
+class TailCall:
+    __slots__ = ("fn", "args")
+
+    def __init__(self, fn: Any, args: list[Any]) -> None:
+        self.fn = fn
+        self.args = args
+
+
+#: marker for letrec variables referenced before initialization
+class _Undefined:
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "#<undefined>"
+
+
+UNDEFINED = _Undefined()
+
+
+def _make_frame(closure: Closure, args: list[Any]) -> list[Any]:
+    n = closure.params
+    if closure.rest:
+        if len(args) < n:
+            raise ArityError(
+                f"{closure.name}: expected at least {n} arguments, got {len(args)}"
+            )
+        from repro.runtime.values import from_list
+
+        frame = args[:n]
+        frame.append(from_list(args[n:]))
+        return frame
+    if len(args) != n:
+        raise ArityError(f"{closure.name}: expected {n} arguments, got {len(args)}")
+    return args
+
+
+def apply_procedure(fn: Any, args: list[Any]) -> Any:
+    """Apply ``fn`` to ``args``, draining tail calls."""
+    while True:
+        t = type(fn)
+        if t is Closure:
+            env = (_make_frame(fn, args), fn.env)
+            result = fn.body(env)
+            if type(result) is TailCall:
+                fn = result.fn
+                args = result.args
+                continue
+            return result
+        if t is Primitive:
+            if len(args) < fn.arity_min or (
+                fn.arity_max is not None and len(args) > fn.arity_max
+            ):
+                raise ArityError(
+                    f"{fn.name}: arity mismatch, got {len(args)} arguments"
+                )
+            return fn.fn(*args)
+        if t is ContractedProcedure:
+            return fn.contract.apply(fn, args)
+        if isinstance(fn, Procedure):  # pragma: no cover - future proc kinds
+            raise RuntimeReproError(f"cannot apply {fn!r}")
+        from repro.runtime.printing import write_value
+
+        raise RuntimeReproError(f"application: not a procedure: {write_value(fn)}")
+
+
+def tail_apply(fn: Any, args: list[Any]) -> Any:
+    """Apply in tail position: defer closures to the caller's trampoline."""
+    if type(fn) is Closure:
+        return TailCall(fn, args)
+    return apply_procedure(fn, args)

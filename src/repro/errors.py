@@ -1,0 +1,129 @@
+"""Exception hierarchy for the repro platform.
+
+Every user-facing error carries an optional source location so that tools can
+point at the offending syntax, mirroring Racket's error conventions.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional
+
+if TYPE_CHECKING:
+    from repro.syn.srcloc import SrcLoc
+
+
+class ReproError(Exception):
+    """Base class for all platform errors."""
+
+    def __init__(self, message: str, srcloc: Optional["SrcLoc"] = None) -> None:
+        self.message = message
+        self.srcloc = srcloc
+        super().__init__(self._format())
+
+    def _format(self) -> str:
+        if self.srcloc is not None:
+            return f"{self.srcloc}: {self.message}"
+        return self.message
+
+
+class ReaderError(ReproError):
+    """Lexical or parse error while reading source text."""
+
+
+class SyntaxExpansionError(ReproError):
+    """Error raised during macro expansion.
+
+    Carries the syntax object at fault (when available) so error messages can
+    show the offending form, like Racket's ``raise-syntax-error``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        stx: Any = None,
+        sub_stx: Any = None,
+    ) -> None:
+        self.stx = stx
+        self.sub_stx = sub_stx
+        srcloc = None
+        detail = message
+        culprit = sub_stx if sub_stx is not None else stx
+        if culprit is not None:
+            srcloc = getattr(culprit, "srcloc", None)
+            try:
+                from repro.syn.syntax import syntax_to_datum, write_datum
+
+                detail = f"{message} in: {write_datum(syntax_to_datum(culprit))}"
+            except Exception:  # pragma: no cover - defensive formatting
+                detail = message
+        super().__init__(detail, srcloc)
+
+
+class UnboundIdentifierError(SyntaxExpansionError):
+    """An identifier could not be resolved to any binding."""
+
+
+class AmbiguousBindingError(SyntaxExpansionError):
+    """An identifier's scope set matches multiple incomparable bindings."""
+
+
+class ParseCoreError(ReproError):
+    """A fully-expanded term did not conform to the core grammar."""
+
+
+class TypeCheckError(ReproError):
+    """Static type error signalled by a typed language's checker.
+
+    Mirrors the paper's ``type-error`` (fig. 3): the message includes the
+    offending term.
+    """
+
+    def __init__(self, message: str, stx: Any = None) -> None:
+        self.stx = stx
+        srcloc = getattr(stx, "srcloc", None) if stx is not None else None
+        if stx is not None:
+            try:
+                from repro.syn.syntax import syntax_to_datum, write_datum
+
+                message = f"typecheck: {message} in: {write_datum(syntax_to_datum(stx))}"
+            except Exception:  # pragma: no cover
+                message = f"typecheck: {message}"
+        else:
+            message = f"typecheck: {message}"
+        super().__init__(message, srcloc)
+
+
+class ContractViolation(ReproError):
+    """A dynamic contract check failed; blame says who broke the agreement."""
+
+    def __init__(self, message: str, blame: Optional[str] = None) -> None:
+        self.blame = blame
+        if blame is not None:
+            message = f"contract violation: {message} (blaming: {blame})"
+        else:
+            message = f"contract violation: {message}"
+        super().__init__(message)
+
+
+class RuntimeReproError(ReproError):
+    """Runtime error in evaluated object-language code."""
+
+
+class WrongTypeError(RuntimeReproError):
+    """A primitive received a value of the wrong runtime type (a failed tag check)."""
+
+    def __init__(self, who: str, expected: str, got: Any) -> None:
+        self.who = who
+        self.expected = expected
+        self.got = got
+        from repro.runtime.printing import write_value
+
+        super().__init__(f"{who}: expected {expected}, given: {write_value(got)}")
+
+
+class ArityError(RuntimeReproError):
+    """A procedure was applied to the wrong number of arguments."""
+
+
+class ModuleError(ReproError):
+    """Module resolution, cycle, or instantiation error."""

@@ -1,0 +1,35 @@
+"""Names and bindings for the core syntactic forms (fig. 1).
+
+The explicitly specified core language "consists of approximately 20
+primitive syntactic forms" — ours are listed below. Every language library
+reduces programs to these via the expander before analysis or execution.
+"""
+
+from __future__ import annotations
+
+from repro.syn.binding import CoreFormBinding
+
+CORE_FORM_NAMES = (
+    "quote",
+    "quote-syntax",
+    "if",
+    "begin",
+    "begin0",
+    "#%plain-lambda",
+    "let-values",
+    "letrec-values",
+    "set!",
+    "#%plain-app",
+    "define-values",
+    "define-syntaxes",
+    "begin-for-syntax",
+    "#%provide",
+    "#%require",
+    "#%plain-module-begin",
+    "#%expression",
+)
+
+#: name -> the unique CoreFormBinding for that form
+CORE_FORMS: dict[str, CoreFormBinding] = {
+    name: CoreFormBinding(name) for name in CORE_FORM_NAMES
+}

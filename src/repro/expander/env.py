@@ -1,0 +1,130 @@
+"""Compile-time environments and the per-compilation context.
+
+An :class:`ExpandContext` is created for each module compilation. It holds:
+
+- ``meanings`` — what each binding means at compile time (variable or macro
+  transformer);
+- ``phase1_ns`` — the module's **fresh compile-time store** (§2.3: "each
+  module is compiled with a fresh store");
+- ``stores`` — named compile-time state for language libraries (type
+  environments, the ``typed-context?`` flag of §6.2, ...). Because the whole
+  context is fresh per compilation, "mutations to state created during one
+  compilation do not affect the results of other compilations";
+- bookkeeping for requires, provides, and replayable phase-1 declarations
+  (the §5 mechanism for separate compilation).
+
+``current_context()`` exposes the active context to phase-1 primitives such
+as a typed language's ``add-type!``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.errors import SyntaxExpansionError
+from repro.syn.binding import Binding
+from repro.syn.scopes import Scope
+
+if TYPE_CHECKING:
+    from repro.core.namespace import Namespace
+    from repro.modules.registry import ModuleRegistry
+    from repro.syn.syntax import Syntax
+
+
+class Meaning:
+    __slots__ = ()
+
+
+class VariableMeaning(Meaning):
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "#<meaning:variable>"
+
+
+VARIABLE = VariableMeaning()
+
+
+class TransformerMeaning(Meaning):
+    """A macro: ``value`` is a Python callable or an object-language closure."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:
+        return "#<meaning:transformer>"
+
+
+@dataclass(slots=True)
+class ProvideSpec:
+    external: str
+    internal_id: "Syntax"
+    phase: int = 0
+
+
+class ExpandContext:
+    def __init__(
+        self,
+        module_path: str,
+        registry: "ModuleRegistry",
+    ) -> None:
+        from repro.core.namespace import Namespace
+
+        self.module_path = module_path
+        self.registry = registry
+        self.meanings: dict[Any, Meaning] = {}
+        self.module_scope: Scope = Scope("module")
+        self.phase1_ns: "Namespace" = registry.make_phase1_namespace(module_path)
+        #: compile-time stores for language libraries, keyed by library name
+        self.stores: dict[str, Any] = {}
+        #: modules required at phase 0, in order
+        self.requires: list[str] = []
+        #: provide specs accumulated from #%provide forms
+        self.provides: list[ProvideSpec] = []
+        #: replayable phase-1 declarations (see modules.registry.SyntaxDecl)
+        self.syntax_decls: list[Any] = []
+        #: modules already visited during this compilation
+        self.visited: set[str] = set()
+        #: use-site scopes introduced per active definition context
+        self.use_site_scopes: list[set[Scope]] = []
+        #: definitions seen so far (module level), for duplicate detection
+        self.defined_names: dict[str, "Syntax"] = {}
+
+    # -- meanings ---------------------------------------------------------
+
+    def meaning_of(self, binding: Binding) -> Meaning:
+        return self.meanings.get(binding.key(), VARIABLE)
+
+    def set_meaning(self, binding: Binding, meaning: Meaning) -> None:
+        self.meanings[binding.key()] = meaning
+
+    # -- language-library stores -------------------------------------------
+
+    def store(self, key: str, make: Callable[[], Any]) -> Any:
+        """Get (or create) a named compile-time store for a language library."""
+        if key not in self.stores:
+            self.stores[key] = make()
+        return self.stores[key]
+
+
+#: stack of active expansion contexts (innermost last)
+_CONTEXT_STACK: list[ExpandContext] = []
+
+
+def push_context(ctx: ExpandContext) -> None:
+    _CONTEXT_STACK.append(ctx)
+
+
+def pop_context() -> None:
+    _CONTEXT_STACK.pop()
+
+
+def current_context() -> ExpandContext:
+    if not _CONTEXT_STACK:
+        raise SyntaxExpansionError(
+            "no expansion context active (compile-time primitive used at runtime?)"
+        )
+    return _CONTEXT_STACK[-1]

@@ -1,0 +1,93 @@
+"""``syntax-rules`` transformers for object-language macros.
+
+Patterns and templates are compiled from the syntax objects of the
+``syntax-rules`` form itself, so template identifiers keep the scopes of the
+defining module — the introduction-scope flip in the expander then provides
+hygiene exactly as for procedural macros.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import SyntaxExpansionError
+from repro.expander import pattern as pat
+from repro.runtime.values import Symbol
+from repro.syn.syntax import ImproperList, Syntax
+
+_ELLIPSIS = Symbol("...")
+_WILDCARD = Symbol("_")
+
+
+def _parse_pattern_stx(stx: Syntax, literals: frozenset[str]) -> pat.PatternNode:
+    e = stx.e
+    if isinstance(e, Symbol):
+        if e is _WILDCARD:
+            return pat.PWild()
+        if e.name in literals:
+            return pat.PLiteral(e)
+        return pat.PVar(e.name, "expr")
+    if isinstance(e, tuple):
+        return _parse_list(list(e), None, literals)
+    if isinstance(e, ImproperList):
+        return _parse_list(list(e.items), e.tail, literals)
+    return pat.PDatum(e)
+
+
+def _parse_list(items: list[Syntax], tail, literals: frozenset[str]) -> pat.PList:
+    ellipsis_at = [i for i, s in enumerate(items) if s.e is _ELLIPSIS]
+    if len(ellipsis_at) > 1:
+        raise SyntaxExpansionError("syntax-rules: at most one `...` per level")
+    tail_pat = _parse_pattern_stx(tail, literals) if tail is not None else None
+    if not ellipsis_at:
+        return pat.PList(
+            tuple(_parse_pattern_stx(s, literals) for s in items), None, (), tail_pat
+        )
+    pos = ellipsis_at[0]
+    if pos == 0:
+        raise SyntaxExpansionError("syntax-rules: `...` must follow a sub-pattern")
+    return pat.PList(
+        tuple(_parse_pattern_stx(s, literals) for s in items[: pos - 1]),
+        _parse_pattern_stx(items[pos - 1], literals),
+        tuple(_parse_pattern_stx(s, literals) for s in items[pos + 1 :]),
+        tail_pat,
+    )
+
+
+def make_syntax_rules_transformer(form: Syntax) -> Callable[[Syntax], Syntax]:
+    """Compile ``(syntax-rules (lit ...) [pattern template] ...)``."""
+    items = form.e
+    if not (isinstance(items, tuple) and len(items) >= 2 and isinstance(items[1].e, tuple)):
+        raise SyntaxExpansionError("syntax-rules: bad syntax", form)
+    literal_ids = items[1].e
+    literals = frozenset(
+        lit.e.name for lit in literal_ids if lit.is_identifier()
+    )
+    rules: list[tuple[pat.Pattern, Syntax]] = []
+    for rule in items[2:]:
+        if not (isinstance(rule.e, tuple) and len(rule.e) == 2):
+            raise SyntaxExpansionError("syntax-rules: bad rule", rule)
+        pattern_stx, template = rule.e
+        if isinstance(pattern_stx.e, tuple) and pattern_stx.e:
+            p_items, p_tail = list(pattern_stx.e), None
+        elif isinstance(pattern_stx.e, ImproperList) and pattern_stx.e.items:
+            p_items, p_tail = list(pattern_stx.e.items), pattern_stx.e.tail
+        else:
+            raise SyntaxExpansionError(
+                "syntax-rules: pattern must be a parenthesized form", pattern_stx
+            )
+        # the pattern's head position matches the macro name: wildcard it
+        node = _parse_list([Syntax(_WILDCARD)] + p_items[1:], p_tail, literals)
+        variables: dict[str, int] = {}
+        pat._pattern_vars(node, 0, variables)
+        compiled = pat.Pattern("<syntax-rules>", node, variables)
+        rules.append((compiled, template))
+
+    def transform(stx: Syntax) -> Syntax:
+        for compiled, template in rules:
+            m = compiled.match(stx)
+            if m is not None:
+                return pat._fill(template, None, m)
+        raise SyntaxExpansionError("no matching syntax-rules pattern", stx)
+
+    return transform

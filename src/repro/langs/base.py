@@ -1,0 +1,67 @@
+"""Helpers for writing languages as libraries.
+
+A language library defines macros either as (pattern -> template) rewrite
+rules or as arbitrary Python functions over syntax objects — the same two
+styles Racket macro authors use (``syntax-rules`` vs procedural
+``syntax-parse`` macros).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+from repro.errors import SyntaxExpansionError
+from repro.expander.pattern import Pattern, Template, compile_pattern, compile_template
+from repro.modules.registry import Language
+from repro.syn.syntax import Syntax
+
+
+def rule_macro(
+    lang: Language,
+    name: str,
+    rules: Sequence[tuple[str, str]],
+    literals: Iterable[str] = (),
+) -> None:
+    """Define a macro from (pattern, template) string pairs.
+
+    Introduced identifiers in the templates carry the language's anchor
+    scope, so they resolve to the language's own bindings regardless of the
+    use site — hygiene is then enforced by the expander's introduction-scope
+    flip.
+    """
+    compiled: list[tuple[Pattern, Template]] = [
+        (compile_pattern(p, literals), compile_template(t)) for (p, t) in rules
+    ]
+
+    def transform(stx: Syntax) -> Syntax:
+        for pattern, template in compiled:
+            m = pattern.match(stx)
+            if m is not None:
+                return template.fill(lang.anchor, **m)
+        raise SyntaxExpansionError(f"{name}: bad syntax", stx)
+
+    transform.__name__ = f"macro_{name}"
+    lang.export_macro(name, transform)
+
+
+def fn_macro(lang: Language, name: str) -> Callable[[Callable[..., Syntax]], Any]:
+    """Decorator: define a procedural macro on ``lang``.
+
+    The decorated function receives the (introduction-scoped) use syntax and
+    the language object, and returns replacement syntax.
+    """
+
+    def register(fn: Callable[..., Syntax]) -> Callable[..., Syntax]:
+        def transform(stx: Syntax) -> Syntax:
+            return fn(stx, lang)
+
+        transform.__name__ = f"macro_{name}"
+        lang.export_macro(name, transform)
+        return fn
+
+    return register
+
+
+def expand_with(lang: Language, template_src: str, **bindings: Any) -> Syntax:
+    """Fill a template in the language's lexical context."""
+    return compile_template(template_src).fill(lang.anchor, **bindings)

@@ -1,0 +1,34 @@
+"""The ``count`` language from §2.3 of the paper.
+
+"When this language is used, it prints the number of top-level expressions
+in the program, then runs the program as usual." It demonstrates the
+``#%module-begin`` mechanism in its smallest form: a language is a library
+with a base environment plus whole-module control.
+"""
+
+from __future__ import annotations
+
+from repro.langs.base import expand_with, fn_macro
+from repro.modules.registry import Language, ModuleRegistry
+from repro.syn.syntax import Syntax
+
+
+def make_count_language(registry: ModuleRegistry) -> Language:
+    racket = registry.language("racket")
+    lang = Language("count")
+    lang.inherit(racket, exclude=("#%module-begin",))
+
+    @fn_macro(lang, "#%module-begin")
+    def module_begin(stx: Syntax, lang: Language) -> Syntax:
+        body = list(stx.e[1:])
+        return expand_with(
+            lang,
+            '(#%plain-module-begin'
+            ' (#%plain-app printf "Found ~a expressions." (quote n))'
+            " body ...)",
+            n=Syntax(len(body)),
+            body=body,
+        )
+
+    registry.register_language(lang)
+    return lang

@@ -1,0 +1,139 @@
+"""``#lang datalog`` — logic programming as a library (§1 cites Datalog as
+one of the languages built on Racket's extension API).
+
+Module syntax (s-expression surface; the Racket original also swaps the
+*reader* — our substitution is documented in DESIGN.md):
+
+    #lang datalog
+    (! (parent alice bob))            ; assert a fact
+    (! (parent bob carol))
+    (:- (ancestor X Y) (parent X Y))  ; a rule (variables are capitalized)
+    (:- (ancestor X Z) (parent X Y) (ancestor Y Z))
+    (? (ancestor alice Who))          ; query: prints each answer
+
+The whole semantics lives in ``#%module-begin``: each form compiles to a
+call into the Python-implemented engine against a module-local database.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import RuntimeReproError, SyntaxExpansionError
+from repro.langs.base import expand_with, fn_macro
+from repro.langs.datalog.engine import Database, Rule
+from repro.modules.registry import Language, ModuleRegistry
+from repro.runtime.values import Pair, Symbol, to_list
+from repro.syn.syntax import Syntax
+
+__all__ = ["make_datalog_language", "Database", "Rule"]
+
+
+def _register_prims() -> None:
+    from repro.runtime.primitives import PRIMITIVES, add_prim
+    from repro.runtime.printing import write_value
+    from repro.runtime.ports import current_output_port
+    from repro.runtime.values import VOID
+
+    if "make-datalog-db" in PRIMITIVES:
+        return
+
+    def atom_of(value: Any) -> tuple:
+        items = to_list(value)
+        if not items or not isinstance(items[0], Symbol):
+            raise RuntimeReproError("datalog: an atom is (predicate term ...)")
+        return (items[0].name, *items[1:])
+
+    def make_db() -> Database:
+        return Database()
+
+    def assert_fact(db: Any, fact: Any) -> Any:
+        db.assert_fact(atom_of(fact))
+        return VOID
+
+    def assert_rule(db: Any, head: Any, body: Any) -> Any:
+        db.assert_rule(Rule(atom_of(head), tuple(atom_of(a) for a in to_list(body))))
+        return VOID
+
+    def run_query(db: Any, pattern: Any) -> Any:
+        port = current_output_port()
+        for atom in db.query_atoms(atom_of(pattern)):
+            rendered = ", ".join(write_value(t, display=True) for t in atom[1:])
+            port.write(f"{atom[0]}({rendered}).\n")
+        return VOID
+
+    add_prim("make-datalog-db", make_db, 0, 0)
+    add_prim("datalog-assert!", assert_fact, 2, 2)
+    add_prim("datalog-rule!", assert_rule, 3, 3)
+    add_prim("datalog-query", run_query, 2, 2)
+
+
+def make_datalog_language(registry: ModuleRegistry) -> Language:
+    _register_prims()
+    racket = registry.language("racket")
+    lang = Language("datalog")
+    # the base environment is deliberately tiny: datalog modules contain
+    # only facts, rules, and queries
+    for name in ("#%datum", "quote", "#%plain-module-begin", "define-values",
+                 "#%plain-app", "begin"):
+        if name in racket.exports:
+            lang.export(name, racket.exports[name].binding,
+                        racket.exports[name].transformer)
+    # the engine primitives registered above (they postdate the registry's
+    # kernel snapshot, so bind them directly)
+    from repro.modules.registry import KERNEL_PATH
+    from repro.syn.binding import ModuleBinding
+
+    for name in ("make-datalog-db", "datalog-assert!", "datalog-rule!",
+                 "datalog-query"):
+        lang.export(name, ModuleBinding(KERNEL_PATH, Symbol(name)))
+    lang.export("list", registry.kernel_exports["list"].binding)
+
+    @fn_macro(lang, "#%module-begin")
+    def module_begin(stx: Syntax, lang: Language) -> Syntax:
+        statements = []
+        for form in stx.e[1:]:
+            statements.append(_compile_statement(form, lang))
+        return expand_with(
+            lang,
+            "(#%plain-module-begin"
+            " (define-values (db) (#%plain-app make-datalog-db))"
+            " stmt ...)",
+            stmt=statements,
+        )
+
+    registry.register_language(lang)
+    return lang
+
+
+def _compile_statement(form: Syntax, lang: Language) -> Syntax:
+    if not (isinstance(form.e, tuple) and form.e and form.e[0].is_identifier()):
+        raise SyntaxExpansionError(
+            "datalog: expected (! fact), (:- head body ...) or (? query)", form
+        )
+    head_name = form.e[0].e.name
+    if head_name == "!":
+        if len(form.e) != 2:
+            raise SyntaxExpansionError("datalog: (! fact)", form)
+        return expand_with(
+            lang, "(#%plain-app datalog-assert! db (quote fact))", fact=form.e[1]
+        )
+    if head_name == ":-":
+        if len(form.e) < 3:
+            raise SyntaxExpansionError("datalog: (:- head body ...)", form)
+        body = Syntax(tuple(form.e[2:]), form.scopes, form.srcloc)
+        return expand_with(
+            lang,
+            "(#%plain-app datalog-rule! db (quote head) (quote body))",
+            head=form.e[1],
+            body=body,
+        )
+    if head_name == "?":
+        if len(form.e) != 2:
+            raise SyntaxExpansionError("datalog: (? query)", form)
+        return expand_with(
+            lang, "(#%plain-app datalog-query db (quote q))", q=form.e[1]
+        )
+    raise SyntaxExpansionError(
+        f"datalog: unknown statement {head_name} (expected !, :- or ?)", form
+    )

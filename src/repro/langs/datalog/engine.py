@@ -1,0 +1,150 @@
+"""A Datalog engine: unification and naive bottom-up fixpoint evaluation.
+
+Backs the ``#lang datalog`` language (the paper's §1 lists Datalog among the
+languages implemented on Racket's extension API). Terms are object-language
+values: symbols starting with an uppercase letter are variables, everything
+else (symbols, numbers, strings) is a constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Optional
+
+from repro.errors import RuntimeReproError
+from repro.runtime.values import Symbol
+
+Term = Any  # Symbol (constant or variable), int, float, str
+Atom = tuple  # (predicate_name: str, *terms)
+Bindings = dict[str, Term]
+
+
+def is_variable(term: Term) -> bool:
+    return isinstance(term, Symbol) and term.name[:1].isupper()
+
+
+@dataclass(frozen=True)
+class Rule:
+    head: Atom
+    body: tuple[Atom, ...]
+
+
+def walk(term: Term, bindings: Bindings) -> Term:
+    while is_variable(term) and term.name in bindings:
+        term = bindings[term.name]
+    return term
+
+
+def unify_atom(pattern: Atom, fact: Atom, bindings: Bindings) -> Optional[Bindings]:
+    """Unify a (possibly variable-containing) atom against a ground fact."""
+    if pattern[0] != fact[0] or len(pattern) != len(fact):
+        return None
+    out = dict(bindings)
+    for p_term, f_term in zip(pattern[1:], fact[1:]):
+        p_term = walk(p_term, out)
+        if is_variable(p_term):
+            out[p_term.name] = f_term
+        elif not _constants_equal(p_term, f_term):
+            return None
+    return out
+
+
+def _constants_equal(a: Term, b: Term) -> bool:
+    if isinstance(a, Symbol) or isinstance(b, Symbol):
+        return a is b
+    if isinstance(a, bool) or isinstance(b, bool):
+        return a is b
+    return type(a) is type(b) and a == b
+
+
+def substitute(atom: Atom, bindings: Bindings) -> Atom:
+    return (atom[0],) + tuple(walk(t, bindings) for t in atom[1:])
+
+
+def is_ground(atom: Atom) -> bool:
+    return not any(is_variable(t) for t in atom[1:])
+
+
+def _key(atom: Atom) -> tuple:
+    out = [atom[0]]
+    for t in atom[1:]:
+        if isinstance(t, Symbol):
+            out.append(("sym", t.name))
+        else:
+            out.append((type(t).__name__, t))
+    return tuple(out)
+
+
+class Database:
+    """Facts + rules with naive fixpoint saturation."""
+
+    def __init__(self) -> None:
+        self.facts: dict[tuple, Atom] = {}
+        self.rules: list[Rule] = []
+        self._saturated = False
+
+    def assert_fact(self, atom: Atom) -> None:
+        if not is_ground(atom):
+            raise RuntimeReproError(
+                f"datalog: cannot assert a non-ground fact: {atom[0]}"
+            )
+        self.facts[_key(atom)] = atom
+        self._saturated = False
+
+    def assert_rule(self, rule: Rule) -> None:
+        head_vars = {t.name for t in rule.head[1:] if is_variable(t)}
+        body_vars = set()
+        for atom in rule.body:
+            body_vars |= {t.name for t in atom[1:] if is_variable(t)}
+        unsafe = head_vars - body_vars
+        if unsafe:
+            raise RuntimeReproError(
+                f"datalog: unsafe rule, head variables {sorted(unsafe)} "
+                "do not appear in the body"
+            )
+        self.rules.append(rule)
+        self._saturated = False
+
+    # -- evaluation -------------------------------------------------------
+
+    def _match_body(
+        self, body: tuple[Atom, ...], index: int, bindings: Bindings
+    ) -> Iterator[Bindings]:
+        if index == len(body):
+            yield bindings
+            return
+        for fact in list(self.facts.values()):
+            unified = unify_atom(body[index], fact, bindings)
+            if unified is not None:
+                yield from self._match_body(body, index + 1, unified)
+
+    def saturate(self) -> None:
+        """Naive fixpoint: apply every rule until no new facts appear."""
+        if self._saturated:
+            return
+        changed = True
+        while changed:
+            changed = False
+            for rule in self.rules:
+                for bindings in self._match_body(rule.body, 0, {}):
+                    derived = substitute(rule.head, bindings)
+                    key = _key(derived)
+                    if key not in self.facts:
+                        self.facts[key] = derived
+                        changed = True
+        self._saturated = True
+
+    def query(self, pattern: Atom) -> list[Bindings]:
+        """All substitutions making ``pattern`` a fact (after saturation)."""
+        self.saturate()
+        out = []
+        for fact in self.facts.values():
+            unified = unify_atom(pattern, fact, {})
+            if unified is not None:
+                out.append(unified)
+        return out
+
+    def query_atoms(self, pattern: Atom) -> list[Atom]:
+        """The matching ground atoms, deterministically ordered."""
+        matches = [substitute(pattern, b) for b in self.query(pattern)]
+        return sorted(matches, key=_key)

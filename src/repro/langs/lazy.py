@@ -1,0 +1,62 @@
+"""``lazy``: call-by-need evaluation as a library (§1's "a lazy variant of
+Racket", after Barzilay and Clements 2005).
+
+The entire semantic change is carried by macro overrides — ``#%app`` delays
+arguments into promises, and the strict positions (``if`` tests, printing)
+force — demonstrating that even the evaluation *strategy* of a language is
+library-definable through the implicit-form hooks.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SyntaxExpansionError
+from repro.langs.base import expand_with, fn_macro, rule_macro
+from repro.modules.registry import Language, ModuleRegistry
+from repro.runtime.promises import Promise, force
+from repro.syn.syntax import Syntax
+
+__all__ = ["make_lazy_language", "Promise", "force"]
+
+
+def make_lazy_language(registry: ModuleRegistry) -> Language:
+    racket = registry.language("racket")
+    lang = Language("lazy")
+    lang.inherit(racket, exclude=("#%app", "if", "displayln", "display"))
+
+    @fn_macro(lang, "#%app")
+    def lazy_app(stx: Syntax, lang: Language) -> Syntax:
+        # (#%app f a ...) -> (lazy-apply f (make-promise (lambda () a)) ...)
+        items = stx.e
+        if len(items) < 2:
+            raise SyntaxExpansionError("#%app: missing procedure", stx)
+        fn = items[1]
+        delayed = [
+            expand_with(
+                lang,
+                "(#%plain-app make-promise (#%plain-lambda () arg))",
+                arg=arg,
+            )
+            for arg in items[2:]
+        ]
+        return expand_with(
+            lang, "(#%plain-app lazy-apply fn arg ...)", fn=fn, arg=delayed
+        )
+
+    # strict positions force their value
+    rule_macro(lang, "if", [("(_ c t e)", "(%strict-if (#%plain-app force c) t e)")])
+    lang.export("%strict-if", registry.kernel_exports["if"].binding)
+    rule_macro(
+        lang,
+        "displayln",
+        [("(_ e)", "(#%plain-app %displayln-prim (#%plain-app force e))")],
+    )
+    lang.export("%displayln-prim", registry.kernel_exports["displayln"].binding)
+    rule_macro(
+        lang,
+        "display",
+        [("(_ e)", "(#%plain-app %display-prim (#%plain-app force e))")],
+    )
+    lang.export("%display-prim", registry.kernel_exports["display"].binding)
+
+    registry.register_language(lang)
+    return lang

@@ -1,0 +1,25 @@
+"""The ``racket`` base language: the kernel plus the surface-macro library."""
+
+from __future__ import annotations
+
+from repro.expander.core_forms import CORE_FORMS
+from repro.langs.racket.forms import install_forms
+from repro.langs.racket.match import install_match
+from repro.langs.racket.structs import install_structs
+from repro.modules.registry import Export, Language, ModuleRegistry
+
+
+def make_racket_language(registry: ModuleRegistry) -> Language:
+    lang = Language("racket")
+    # the kernel: every primitive and core form
+    for name, export in registry.kernel_exports.items():
+        lang.export(name, export.binding, export.transformer)
+    # friendlier names for core forms
+    lang.export("lambda", CORE_FORMS["#%plain-lambda"])
+    lang.export("λ", CORE_FORMS["#%plain-lambda"])
+    lang.export("#%app", CORE_FORMS["#%plain-app"])
+    install_forms(lang)
+    install_match(lang)
+    install_structs(lang)
+    registry.register_language(lang)
+    return lang

@@ -1,0 +1,533 @@
+"""The surface forms of the ``racket`` language, as macros over the core.
+
+Every form here is a library-defined rewrite into fig. 1's core grammar —
+"most [syntactic forms] can be reduced to simpler forms via rewrite rules
+implemented as macros" (§3.1).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import SyntaxExpansionError
+from repro.expander.pattern import compile_pattern, compile_template
+from repro.langs.base import expand_with, fn_macro, rule_macro
+from repro.modules.registry import Language
+from repro.runtime.values import Symbol
+from repro.syn.syntax import ImproperList, Syntax, datum_to_syntax
+
+
+def install_forms(lang: Language) -> None:
+    _install_module_hooks(lang)
+    install_misc_forms(lang)
+    install_case_lambda(lang)
+    _install_definition_forms(lang)
+    _install_binding_forms(lang)
+    _install_conditionals(lang)
+    _install_loops(lang)
+    _install_quasiquote(lang)
+    _install_provide_require(lang)
+
+
+# --- module hooks -----------------------------------------------------------
+
+
+def _install_module_hooks(lang: Language) -> None:
+    @fn_macro(lang, "#%module-begin")
+    def module_begin(stx: Syntax, lang: Language) -> Syntax:
+        return expand_with(
+            lang, "(#%plain-module-begin form ...)", form=list(stx.e[1:])
+        )
+
+    @fn_macro(lang, "#%datum")
+    def datum(stx: Syntax, lang: Language) -> Syntax:
+        # (#%datum . d) -> (quote d)
+        if isinstance(stx.e, ImproperList):
+            payload: Syntax = stx.e.tail
+        elif isinstance(stx.e, tuple) and len(stx.e) == 2:
+            payload = stx.e[1]
+        else:
+            raise SyntaxExpansionError("#%datum: bad syntax", stx)
+        return expand_with(lang, "(quote d)", d=payload)
+
+
+# --- definitions --------------------------------------------------------------
+
+
+def _install_definition_forms(lang: Language) -> None:
+    @fn_macro(lang, "define")
+    def define(stx: Syntax, lang: Language) -> Syntax:
+        items = stx.e
+        if not (isinstance(items, tuple) and len(items) >= 2):
+            raise SyntaxExpansionError("define: bad syntax", stx)
+        header = items[1]
+        if header.is_identifier():
+            if len(items) != 3:
+                raise SyntaxExpansionError("define: bad syntax", stx)
+            return expand_with(lang, "(define-values (x) e)", x=header, e=items[2])
+        # (define (f . args) body ...) — possibly curried headers are not
+        # supported; Racket's full `define` is, but the paper doesn't use them.
+        if isinstance(header.e, tuple) and header.e:
+            fn_name, formals = header.e[0], header.e[1:]
+            formals_stx: Syntax = Syntax(tuple(formals), header.scopes, header.srcloc)
+        elif isinstance(header.e, ImproperList) and header.e.items:
+            fn_name = header.e.items[0]
+            formals_stx = Syntax(
+                ImproperList(header.e.items[1:], header.e.tail),
+                header.scopes,
+                header.srcloc,
+            )
+        else:
+            raise SyntaxExpansionError("define: bad syntax", stx)
+        if not fn_name.is_identifier():
+            raise SyntaxExpansionError("define: expected an identifier", fn_name)
+        body = list(items[2:])
+        if not body:
+            raise SyntaxExpansionError("define: missing body", stx)
+        lam = expand_with(
+            lang, "(#%plain-lambda formals body ...)", formals=formals_stx, body=body
+        ).property_put("inferred-name", fn_name.e.name)
+        return expand_with(lang, "(define-values (f) lam)", f=fn_name, lam=lam)
+
+    @fn_macro(lang, "define-syntax")
+    def define_syntax(stx: Syntax, lang: Language) -> Syntax:
+        items = stx.e
+        if not (isinstance(items, tuple) and len(items) >= 3):
+            raise SyntaxExpansionError("define-syntax: bad syntax", stx)
+        header = items[1]
+        if header.is_identifier():
+            if len(items) != 3:
+                raise SyntaxExpansionError("define-syntax: bad syntax", stx)
+            return expand_with(
+                lang, "(define-syntaxes (f) rhs)", f=header, rhs=items[2]
+            )
+        if not (isinstance(header.e, tuple) and len(header.e) == 2):
+            raise SyntaxExpansionError("define-syntax: bad header", stx)
+        fn_name, arg = header.e
+        return expand_with(
+            lang,
+            "(define-syntaxes (f) (#%plain-lambda (arg) body ...))",
+            f=fn_name,
+            arg=arg,
+            body=list(items[2:]),
+        )
+
+
+# --- binding forms --------------------------------------------------------------
+
+
+def _install_binding_forms(lang: Language) -> None:
+    @fn_macro(lang, "let")
+    def let(stx: Syntax, lang: Language) -> Syntax:
+        named = compile_pattern("(_ name:id ([x:id e] ...) body ...)").match(stx)
+        if named is not None and isinstance(named["name"].e, Symbol):
+            return expand_with(
+                lang,
+                "((letrec-values (((name) (#%plain-lambda (x ...) body ...)))"
+                " name) e ...)",
+                **named,
+            )
+        plain = compile_pattern("(_ ([x:id e] ...) body ...)").match(stx)
+        if plain is None:
+            raise SyntaxExpansionError("let: bad syntax", stx)
+        return expand_with(lang, "(let-values (((x) e) ...) body ...)", **plain)
+
+    rule_macro(
+        lang,
+        "letrec",
+        [("(_ ([x:id e] ...) body ...)", "(letrec-values (((x) e) ...) body ...)")],
+    )
+
+    @fn_macro(lang, "let*")
+    def let_star(stx: Syntax, lang: Language) -> Syntax:
+        m = compile_pattern("(_ (clause ...) body ...)").match(stx)
+        if m is None:
+            raise SyntaxExpansionError("let*: bad syntax", stx)
+        clauses, body = m["clause"], m["body"]
+        if not clauses:
+            return expand_with(lang, "(let-values () body ...)", body=body)
+        return expand_with(
+            lang,
+            "(let (first) (let* (rest ...) body ...))",
+            first=clauses[0],
+            rest=clauses[1:],
+            body=body,
+        )
+
+    rule_macro(
+        lang,
+        "let*-values",
+        [
+            ("(_ () body ...)", "(let-values () body ...)"),
+            (
+                "(_ (clause rest ...) body ...)",
+                "(let-values (clause) (let*-values (rest ...) body ...))",
+            ),
+        ],
+    )
+
+
+# --- conditionals -----------------------------------------------------------------
+
+
+def _is_else(stx: Syntax) -> bool:
+    return stx.is_identifier() and stx.e.name == "else"
+
+
+def _install_conditionals(lang: Language) -> None:
+    @fn_macro(lang, "cond")
+    def cond(stx: Syntax, lang: Language) -> Syntax:
+        items = stx.e
+        if not isinstance(items, tuple):
+            raise SyntaxExpansionError("cond: bad syntax", stx)
+        clauses = items[1:]
+        if not clauses:
+            return expand_with(lang, "(#%plain-app void)")
+        clause = clauses[0]
+        if not (isinstance(clause.e, tuple) and clause.e):
+            raise SyntaxExpansionError("cond: bad clause", clause)
+        test = clause.e[0]
+        body = list(clause.e[1:])
+        rest = list(clauses[1:])
+        if _is_else(test):
+            if rest:
+                raise SyntaxExpansionError("cond: else clause must be last", stx)
+            if not body:
+                raise SyntaxExpansionError("cond: else clause needs a body", clause)
+            return expand_with(lang, "(begin body ...)", body=body)
+        if not body:
+            return expand_with(
+                lang,
+                "(let ((t test)) (if t t (cond rest ...)))",
+                test=test,
+                rest=rest,
+            )
+        return expand_with(
+            lang,
+            "(if test (begin body ...) (cond rest ...))",
+            test=test,
+            body=body,
+            rest=rest,
+        )
+
+    @fn_macro(lang, "case")
+    def case(stx: Syntax, lang: Language) -> Syntax:
+        items = stx.e
+        if not (isinstance(items, tuple) and len(items) >= 2):
+            raise SyntaxExpansionError("case: bad syntax", stx)
+        subject = items[1]
+        cond_clauses = []
+        for clause in items[2:]:
+            if not (isinstance(clause.e, tuple) and len(clause.e) >= 2):
+                raise SyntaxExpansionError("case: bad clause", clause)
+            head = clause.e[0]
+            body = list(clause.e[1:])
+            if _is_else(head):
+                cond_clauses.append(
+                    expand_with(lang, "(else body ...)", body=body)
+                )
+            else:
+                cond_clauses.append(
+                    expand_with(
+                        lang,
+                        "((#%plain-app memv t (quote data)) body ...)",
+                        data=head,
+                        body=body,
+                    )
+                )
+        return expand_with(
+            lang,
+            "(let ((t subject)) (cond clause ...))",
+            subject=subject,
+            clause=cond_clauses,
+        )
+
+    rule_macro(lang, "when", [("(_ test body ...)", "(if test (begin body ...) (#%plain-app void))")])
+    rule_macro(lang, "unless", [("(_ test body ...)", "(if test (#%plain-app void) (begin body ...))")])
+
+    rule_macro(
+        lang,
+        "and",
+        [
+            ("(_)", "(quote #t)"),
+            ("(_ e)", "e"),
+            ("(_ e rest ...)", "(if e (and rest ...) (quote #f))"),
+        ],
+    )
+    rule_macro(
+        lang,
+        "or",
+        [
+            ("(_)", "(quote #f)"),
+            ("(_ e)", "e"),
+            ("(_ e rest ...)", "(let ((t e)) (if t t (or rest ...)))"),
+        ],
+    )
+
+
+# --- loops ---------------------------------------------------------------------
+
+
+def _install_loops(lang: Language) -> None:
+    @fn_macro(lang, "do")
+    def do_loop(stx: Syntax, lang: Language) -> Syntax:
+        m = compile_pattern("(_ (clause ...) (test result ...) body ...)").match(stx)
+        if m is None:
+            raise SyntaxExpansionError("do: bad syntax", stx)
+        vars_: list[Syntax] = []
+        inits: list[Syntax] = []
+        steps: list[Syntax] = []
+        for clause in m["clause"]:
+            parts = clause.e if isinstance(clause.e, tuple) else ()
+            if len(parts) == 2:
+                var, init = parts
+                step: Syntax = var
+            elif len(parts) == 3:
+                var, init, step = parts
+            else:
+                raise SyntaxExpansionError("do: bad clause", clause)
+            vars_.append(var)
+            inits.append(init)
+            steps.append(step)
+        result = list(m["result"]) or [expand_with(lang, "(#%plain-app void)")]
+        body = list(m["body"])
+        return expand_with(
+            lang,
+            "(let do-loop ((var init) ...)"
+            " (if test (begin result ...)"
+            " (begin (#%plain-app void) body ... (do-loop step ...))))",
+            var=vars_,
+            init=inits,
+            step=steps,
+            test=m["test"],
+            result=result,
+            body=body,
+        )
+
+    rule_macro(
+        lang,
+        "for",
+        [
+            (
+                "(_ ([x:id seq]) body ...)",
+                "(#%plain-app for-each (#%plain-lambda (x) body ...)"
+                " (#%plain-app sequence->list seq))",
+            )
+        ],
+    )
+
+    rule_macro(
+        lang,
+        "for/list",
+        [
+            (
+                "(_ ([x:id seq]) body ...)",
+                "(#%plain-app map (#%plain-lambda (x) body ...)"
+                " (#%plain-app sequence->list seq))",
+            )
+        ],
+    )
+
+
+# --- quasiquote -------------------------------------------------------------------
+
+
+def _install_quasiquote(lang: Language) -> None:
+    @fn_macro(lang, "quasiquote")
+    def quasiquote(stx: Syntax, lang: Language) -> Syntax:
+        if not (isinstance(stx.e, tuple) and len(stx.e) == 2):
+            raise SyntaxExpansionError("quasiquote: bad syntax", stx)
+        return _qq(lang, stx.e[1], 1)
+
+
+def _head_is(stx: Syntax, name: str) -> bool:
+    return (
+        isinstance(stx.e, tuple)
+        and len(stx.e) == 2
+        and stx.e[0].is_identifier()
+        and stx.e[0].e.name == name
+    )
+
+
+def _qq(lang: Language, tpl: Syntax, depth: int) -> Syntax:
+    if _head_is(tpl, "unquote"):
+        if depth == 1:
+            return tpl.e[1]
+        return expand_with(
+            lang,
+            "(#%plain-app list (quote unquote) inner)",
+            inner=_qq(lang, tpl.e[1], depth - 1),
+        )
+    if _head_is(tpl, "quasiquote"):
+        return expand_with(
+            lang,
+            "(#%plain-app list (quote quasiquote) inner)",
+            inner=_qq(lang, tpl.e[1], depth + 1),
+        )
+    if isinstance(tpl.e, tuple):
+        return _qq_list(lang, list(tpl.e), None, depth)
+    if isinstance(tpl.e, ImproperList):
+        return _qq_list(lang, list(tpl.e.items), tpl.e.tail, depth)
+    return expand_with(lang, "(quote d)", d=tpl)
+
+
+def _qq_list(lang: Language, items: list[Syntax], tail: Any, depth: int) -> Syntax:
+    # `(a . ,b) reads as the proper list (a unquote b): recognize the
+    # unquote-in-tail-position shape, as Racket's quasiquote does
+    if (
+        tail is None
+        and len(items) >= 2
+        and items[-2].is_identifier()
+        and items[-2].e.name in ("unquote", "quasiquote")
+    ):
+        marker = Syntax((items[-2], items[-1]), items[-2].scopes, items[-2].srcloc)
+        tail, items = marker, items[:-2]
+    if tail is not None:
+        result = _qq(lang, tail, depth)
+    else:
+        result = expand_with(lang, "(quote ())")
+    for item in reversed(items):
+        if _head_is(item, "unquote-splicing") and depth == 1:
+            result = expand_with(
+                lang, "(#%plain-app append spliced rest)", spliced=item.e[1], rest=result
+            )
+        else:
+            result = expand_with(
+                lang,
+                "(#%plain-app cons head rest)",
+                head=_qq(lang, item, depth),
+                rest=result,
+            )
+    return result
+
+
+# --- provide / require -------------------------------------------------------------
+
+
+def _install_provide_require(lang: Language) -> None:
+    @fn_macro(lang, "provide")
+    def provide(stx: Syntax, lang: Language) -> Syntax:
+        specs: list[Syntax] = []
+        for spec in stx.e[1:]:
+            if spec.is_identifier():
+                specs.append(spec)
+            elif (
+                isinstance(spec.e, tuple)
+                and len(spec.e) == 1
+                and spec.e[0].is_identifier()
+                and spec.e[0].e.name == "all-defined-out"
+            ):
+                specs.append(expand_with(lang, "(all-defined)"))
+            elif (
+                isinstance(spec.e, tuple)
+                and spec.e
+                and spec.e[0].is_identifier()
+                and spec.e[0].e.name == "rename-out"
+            ):
+                for clause in spec.e[1:]:
+                    if not (isinstance(clause.e, tuple) and len(clause.e) == 2):
+                        raise SyntaxExpansionError("provide: bad rename-out", clause)
+                    specs.append(
+                        expand_with(
+                            lang,
+                            "(rename internal external)",
+                            internal=clause.e[0],
+                            external=clause.e[1],
+                        )
+                    )
+            else:
+                raise SyntaxExpansionError("provide: bad spec", spec)
+        return expand_with(lang, "(#%provide spec ...)", spec=specs)
+
+    rule_macro(lang, "require", [("(_ spec ...)", "(#%require spec ...)")])
+
+
+# --- time and error handling ---------------------------------------------------
+
+
+def install_misc_forms(lang: Language) -> None:
+    rule_macro(
+        lang,
+        "time",
+        [(
+            "(_ e)",
+            "(let ((start (#%plain-app current-inexact-milliseconds)))"
+            " (let ((result e))"
+            "  (begin"
+            "   (#%plain-app printf \"cpu time: ~a ms~n\""
+            "    (#%plain-app round (#%plain-app -"
+            "     (#%plain-app current-inexact-milliseconds) start)))"
+            "   result)))",
+        )],
+    )
+
+    @fn_macro(lang, "with-handlers")
+    def with_handlers(stx: Syntax, lang: Language) -> Syntax:
+        # (with-handlers ([pred handler] ...) body ...)
+        items = stx.e
+        if not (
+            isinstance(items, tuple)
+            and len(items) >= 3
+            and isinstance(items[1].e, tuple)
+        ):
+            raise SyntaxExpansionError("with-handlers: bad syntax", stx)
+        preds: list[Syntax] = []
+        handlers: list[Syntax] = []
+        for clause in items[1].e:
+            if not (isinstance(clause.e, tuple) and len(clause.e) == 2):
+                raise SyntaxExpansionError("with-handlers: bad clause", clause)
+            preds.append(clause.e[0])
+            handlers.append(clause.e[1])
+        return expand_with(
+            lang,
+            "(#%plain-app call-with-error-handlers"
+            " (#%plain-app list pred ...)"
+            " (#%plain-app list handler ...)"
+            " (#%plain-lambda () body ...))",
+            pred=preds,
+            handler=handlers,
+            body=list(items[2:]),
+        )
+
+
+def install_case_lambda(lang: Language) -> None:
+    @fn_macro(lang, "case-lambda")
+    def case_lambda(stx: Syntax, lang: Language) -> Syntax:
+        # (case-lambda [(a ...) body ...] [(a ... . rest) body ...] ...)
+        # -> a rest-arg lambda dispatching on the argument count
+        clauses = []
+        for clause in stx.e[1:]:
+            if not (isinstance(clause.e, tuple) and len(clause.e) >= 2):
+                raise SyntaxExpansionError("case-lambda: bad clause", clause)
+            formals = clause.e[0]
+            body = list(clause.e[1:])
+            lam = expand_with(
+                lang, "(#%plain-lambda formals body ...)", formals=formals, body=body
+            )
+            if isinstance(formals.e, tuple):
+                test = expand_with(
+                    lang,
+                    "(#%plain-app = nargs (quote k))",
+                    k=Syntax(len(formals.e)),
+                )
+            elif isinstance(formals.e, ImproperList):
+                test = expand_with(
+                    lang,
+                    "(#%plain-app >= nargs (quote k))",
+                    k=Syntax(len(formals.e.items)),
+                )
+            elif formals.is_identifier():
+                test = expand_with(lang, "(quote #t)")
+            else:
+                raise SyntaxExpansionError("case-lambda: bad formals", formals)
+            clauses.append(
+                expand_with(lang, "(test (#%plain-app apply lam args))",
+                            test=test, lam=lam)
+            )
+        return expand_with(
+            lang,
+            "(#%plain-lambda args"
+            " (let ((nargs (#%plain-app length args)))"
+            '  (cond clause ... (else (#%plain-app error "case-lambda: no matching clause")))))',
+            clause=clauses,
+        )

@@ -1,0 +1,222 @@
+"""``match``: a pattern-matching form implemented purely as a macro.
+
+The paper (§3.2) uses ``match`` as its example of "a syntactic form
+implemented in a library written in plain Racket, rather than a primitive
+form as in ML or Haskell, but nonetheless indistinguishable from a language
+primitive". This module is that library for our platform: ``match`` expands
+to core ``if``/``let-values``/accessor code.
+
+Supported patterns::
+
+    _                 wildcard
+    id                variable (binds)
+    <literal>         numbers, strings, booleans, characters
+    (quote datum)     equal? comparison against the datum
+    (list p ...)      a proper list of exactly those elements
+    (cons p q)        a pair
+    (vector p ...)    a vector of exactly those elements
+    (? pred p ...)    values satisfying predicate pred, then matching p ...
+"""
+
+from __future__ import annotations
+
+import itertools
+from fractions import Fraction
+from typing import Any, Callable
+
+from repro.errors import SyntaxExpansionError
+from repro.langs.base import expand_with, fn_macro
+from repro.modules.registry import Language
+from repro.runtime.values import Char, Symbol
+from repro.syn.syntax import Syntax
+
+
+def install_match(lang: Language) -> None:
+    @fn_macro(lang, "match")
+    def match(stx: Syntax, lang: Language) -> Syntax:
+        items = stx.e
+        if not (isinstance(items, tuple) and len(items) >= 3):
+            raise SyntaxExpansionError("match: bad syntax", stx)
+        subject = items[1]
+        clauses = items[2:]
+        compiler = _MatchCompiler(lang)
+        return compiler.compile(subject, clauses, stx)
+
+
+class _MatchCompiler:
+    def __init__(self, lang: Language) -> None:
+        self.lang = lang
+        self._fresh = itertools.count()
+
+    def fresh_id(self, base: str) -> Syntax:
+        return Syntax(
+            Symbol(f"{base}%{next(self._fresh)}"), self.lang.anchor.scopes
+        )
+
+    def compile(self, subject: Syntax, clauses: tuple[Syntax, ...], stx: Syntax) -> Syntax:
+        subj = self.fresh_id("match-subject")
+        body = self.compile_clauses(subj, list(clauses), stx)
+        return expand_with(
+            self.lang, "(let ((subj subject)) body)", subj=subj, subject=subject, body=body
+        )
+
+    def compile_clauses(
+        self, subj: Syntax, clauses: list[Syntax], stx: Syntax
+    ) -> Syntax:
+        if not clauses:
+            return expand_with(
+                self.lang,
+                '(#%plain-app error "match: no matching clause for" subj)',
+                subj=subj,
+            )
+        clause = clauses[0]
+        if not (isinstance(clause.e, tuple) and len(clause.e) >= 2):
+            raise SyntaxExpansionError("match: bad clause", clause)
+        pattern = clause.e[0]
+        body = list(clause.e[1:])
+        fail = self.fresh_id("match-fail")
+        fail_call = expand_with(self.lang, "(#%plain-app fail)", fail=fail)
+        success = expand_with(self.lang, "(begin body ...)", body=body)
+        matched = self.compile_pattern(subj, pattern, success, fail_call)
+        rest = self.compile_clauses(subj, clauses[1:], stx)
+        return expand_with(
+            self.lang,
+            "(let ((fail (#%plain-lambda () rest))) matched)",
+            fail=fail,
+            rest=rest,
+            matched=matched,
+        )
+
+    # -- single patterns ---------------------------------------------------
+
+    def compile_pattern(
+        self, subj: Syntax, pattern: Syntax, success: Syntax, fail: Syntax
+    ) -> Syntax:
+        e = pattern.e
+        if isinstance(e, Symbol):
+            if e.name == "_":
+                return success
+            return expand_with(
+                self.lang, "(let ((var subj)) success)",
+                var=pattern, subj=subj, success=success,
+            )
+        if isinstance(e, (int, float, Fraction, complex, bool, str, Char)):
+            return expand_with(
+                self.lang,
+                "(if (#%plain-app equal? subj (quote lit)) success fail)",
+                subj=subj, lit=pattern, success=success, fail=fail,
+            )
+        if isinstance(e, tuple) and e and e[0].is_identifier():
+            head = e[0].e.name
+            if head == "quote" and len(e) == 2:
+                return expand_with(
+                    self.lang,
+                    "(if (#%plain-app equal? subj (quote d)) success fail)",
+                    subj=subj, d=e[1], success=success, fail=fail,
+                )
+            if head == "list":
+                return self._compile_list(subj, list(e[1:]), success, fail)
+            if head == "cons" and len(e) == 3:
+                return self._compile_cons(subj, e[1], e[2], success, fail)
+            if head == "vector":
+                return self._compile_vector(subj, list(e[1:]), success, fail)
+            if head == "?" and len(e) >= 2:
+                inner = success
+                for sub in reversed(e[2:]):
+                    inner = self.compile_pattern(subj, sub, inner, fail)
+                return expand_with(
+                    self.lang,
+                    "(if (#%plain-app pred subj) inner fail)",
+                    pred=e[1], subj=subj, inner=inner, fail=fail,
+                )
+            if head == "struct" and len(e) == 3 and e[1].is_identifier():
+                return self._compile_struct(subj, e[1], e[2], success, fail)
+        raise SyntaxExpansionError("match: unsupported pattern", pattern)
+
+    def _compile_struct(
+        self, subj: Syntax, name: Syntax, fields_stx: Syntax,
+        success: Syntax, fail: Syntax,
+    ) -> Syntax:
+        """(struct name (p ...)): test with name?, bind fields positionally."""
+        if not isinstance(fields_stx.e, tuple):
+            raise SyntaxExpansionError("match: bad struct pattern", fields_stx)
+        patterns = list(fields_stx.e)
+        predicate = Syntax(Symbol(f"{name.e.name}?"), name.scopes, name.srcloc)
+        field_ids = [self.fresh_id(f"match-sf{i}") for i in range(len(patterns))]
+        inner = success
+        for ident, pattern in reversed(list(zip(field_ids, patterns))):
+            inner = self.compile_pattern(ident, pattern, inner, fail)
+        binds = [
+            expand_with(
+                self.lang,
+                "(x (#%plain-app struct-ref subj (quote i)))",
+                x=ident, subj=subj, i=Syntax(i),
+            )
+            for i, ident in enumerate(field_ids)
+        ]
+        return expand_with(
+            self.lang,
+            "(if (#%plain-app predicate subj) (let (bind ...) inner) fail)",
+            predicate=predicate, subj=subj, bind=binds, inner=inner, fail=fail,
+        )
+
+    def _compile_list(
+        self, subj: Syntax, elements: list[Syntax], success: Syntax, fail: Syntax
+    ) -> Syntax:
+        if not elements:
+            return expand_with(
+                self.lang,
+                "(if (#%plain-app null? subj) success fail)",
+                subj=subj, success=success, fail=fail,
+            )
+        head_id = self.fresh_id("match-car")
+        tail_id = self.fresh_id("match-cdr")
+        rest = self._compile_list(tail_id, elements[1:], success, fail)
+        inner = self.compile_pattern(head_id, elements[0], rest, fail)
+        return expand_with(
+            self.lang,
+            "(if (#%plain-app pair? subj)"
+            " (let ((h (#%plain-app unsafe-car subj)) (t (#%plain-app unsafe-cdr subj)))"
+            " inner) fail)",
+            subj=subj, h=head_id, t=tail_id, inner=inner, fail=fail,
+        )
+
+    def _compile_cons(
+        self, subj: Syntax, car_pat: Syntax, cdr_pat: Syntax, success: Syntax, fail: Syntax
+    ) -> Syntax:
+        head_id = self.fresh_id("match-car")
+        tail_id = self.fresh_id("match-cdr")
+        inner = self.compile_pattern(
+            head_id, car_pat, self.compile_pattern(tail_id, cdr_pat, success, fail), fail
+        )
+        return expand_with(
+            self.lang,
+            "(if (#%plain-app pair? subj)"
+            " (let ((h (#%plain-app unsafe-car subj)) (t (#%plain-app unsafe-cdr subj)))"
+            " inner) fail)",
+            subj=subj, h=head_id, t=tail_id, inner=inner, fail=fail,
+        )
+
+    def _compile_vector(
+        self, subj: Syntax, elements: list[Syntax], success: Syntax, fail: Syntax
+    ) -> Syntax:
+        element_ids = [self.fresh_id(f"match-vec{i}") for i in range(len(elements))]
+        inner = success
+        for ident, pattern in reversed(list(zip(element_ids, elements))):
+            inner = self.compile_pattern(ident, pattern, inner, fail)
+        binds = [
+            expand_with(
+                self.lang,
+                "(x (#%plain-app unsafe-vector-ref subj (quote i)))",
+                x=ident, subj=subj, i=Syntax(i),
+            )
+            for i, ident in enumerate(element_ids)
+        ]
+        return expand_with(
+            self.lang,
+            "(if (if (#%plain-app vector? subj)"
+            "       (#%plain-app = (#%plain-app vector-length subj) (quote n))"
+            "       (quote #f))"
+            " (let (bind ...) inner) fail)",
+            subj=subj, n=Syntax(len(elements)), bind=binds, inner=inner, fail=fail,
+        )

@@ -1,0 +1,77 @@
+"""The ``struct`` / ``define-struct`` forms, as macros.
+
+    (struct point (x y))              ; point, point?, point-x, point-y
+    (struct cell (value) #:mutable)   ; + set-cell-value!
+    (struct leaf (v) #:transparent)   ; structural equal? and readable printing
+    (define-struct point (x y))       ; constructor named make-point
+
+Everything expands to a single ``define-values`` over ``make-struct-type``
+— structs need no new core forms, like everything else in the language.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SyntaxExpansionError
+from repro.langs.base import expand_with, fn_macro
+from repro.modules.registry import Language
+from repro.runtime.values import Keyword, Symbol
+from repro.syn.syntax import Syntax
+
+
+def install_structs(lang: Language) -> None:
+    @fn_macro(lang, "struct")
+    def struct(stx: Syntax, lang: Language) -> Syntax:
+        return _expand_struct(stx, lang, constructor_prefix="")
+
+    @fn_macro(lang, "define-struct")
+    def define_struct(stx: Syntax, lang: Language) -> Syntax:
+        return _expand_struct(stx, lang, constructor_prefix="make-")
+
+
+def _expand_struct(stx: Syntax, lang: Language, constructor_prefix: str) -> Syntax:
+    items = stx.e
+    if not (
+        isinstance(items, tuple)
+        and len(items) >= 3
+        and items[1].is_identifier()
+        and isinstance(items[2].e, tuple)
+    ):
+        raise SyntaxExpansionError("struct: expected (struct name (field ...))", stx)
+    name = items[1]
+    fields = items[2].e
+    for field in fields:
+        if not field.is_identifier():
+            raise SyntaxExpansionError("struct: field must be an identifier", field)
+    mutable = False
+    transparent = False
+    for option in items[3:]:
+        if isinstance(option.e, Keyword) and option.e.name == "mutable":
+            mutable = True
+        elif isinstance(option.e, Keyword) and option.e.name == "transparent":
+            transparent = True
+        else:
+            raise SyntaxExpansionError("struct: unknown option", option)
+
+    base = name.e.name
+
+    def derived(text: str) -> Syntax:
+        # derived names share the struct name's lexical context, so they are
+        # bound exactly where the user's `(struct ...)` form is
+        return Syntax(Symbol(text), name.scopes, name.srcloc)
+
+    bound = [derived(constructor_prefix + base), derived(f"{base}?")]
+    bound += [derived(f"{base}-{f.e.name}") for f in fields]
+    if mutable:
+        bound += [derived(f"set-{base}-{f.e.name}!") for f in fields]
+
+    return expand_with(
+        lang,
+        "(define-values (bound ...)"
+        " (#%plain-app make-struct-type (quote name) (quote n)"
+        "  (quote mutableflag) (quote transparentflag)))",
+        bound=bound,
+        name=name,
+        n=Syntax(len(fields)),
+        mutableflag=Syntax(mutable),
+        transparentflag=Syntax(transparent),
+    )

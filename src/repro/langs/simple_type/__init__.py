@@ -1,0 +1,43 @@
+"""``simple-type``: the paper's small typed sister language (§4–§7).
+
+A module written in this language::
+
+    #lang simple-type
+    (define x : Integer 1)
+    (define (f [z : Integer]) : Integer (* x (+ x z)))
+    (provide f)
+
+is fully expanded, typechecked against fig. 3's rules, optimized per fig. 5,
+and linked safely with untyped modules per §5–§6 — all with no changes to
+the host: this package is a library.
+"""
+
+from __future__ import annotations
+
+from repro.langs.racket import make_racket_language
+from repro.langs.simple_type.forms import install_forms
+from repro.langs.simple_type.module_begin import install_module_begin
+from repro.modules.registry import Language, ModuleRegistry
+
+from repro.langs.simple_type.checker import SimpleChecker, TYPE_ANNOTATION_KEY
+from repro.langs.simple_type.optimize import SimpleOptimizer
+
+__all__ = [
+    "make_simple_type_language",
+    "SimpleChecker",
+    "SimpleOptimizer",
+    "TYPE_ANNOTATION_KEY",
+]
+
+
+def make_simple_type_language(registry: ModuleRegistry) -> Language:
+    racket = registry.languages.get("racket")
+    if racket is None:
+        racket = make_racket_language(registry)
+    lang = Language("simple-type")
+    # linguistic reuse: everything except the module hook and `define`
+    lang.inherit(racket, exclude=("#%module-begin", "define"))
+    install_forms(lang)
+    install_module_begin(lang)
+    registry.register_language(lang)
+    return lang

@@ -1,0 +1,75 @@
+"""The initial type environment of the ``simple-type`` language (§4.2):
+"types for any identifiers that the language provides, such as ``+``"."""
+
+from __future__ import annotations
+
+from repro.expander.env import ExpandContext
+from repro.langs.typed_common import env as tenv
+from repro.langs.typed_common import types as ty
+from repro.modules.registry import KERNEL_PATH
+
+_I, _F, _R, _N = ty.INTEGER, ty.FLOAT, ty.REAL, ty.NUMBER
+_B, _A, _V = ty.BOOLEAN, ty.ANY, ty.VOID
+
+
+def _arith() -> ty.CaseFunType:
+    return ty.CaseFunType(
+        [
+            ty.FunType([_I, _I], _I),
+            ty.FunType([_F, _F], _F),
+            ty.FunType([_R, _R], _R),
+            ty.FunType([_N, _N], _N),
+        ]
+    )
+
+
+def _cmp() -> ty.FunType:
+    return ty.FunType([_R, _R], _B)
+
+
+def _unary_num() -> ty.CaseFunType:
+    return ty.CaseFunType(
+        [
+            ty.FunType([_I], _I),
+            ty.FunType([_F], _F),
+            ty.FunType([_R], _R),
+            ty.FunType([_N], _N),
+        ]
+    )
+
+
+BASE_TYPES: dict[str, ty.Type] = {
+    "+": _arith(),
+    "-": _arith(),
+    "*": _arith(),
+    "/": ty.CaseFunType([ty.FunType([_F, _F], _F), ty.FunType([_N, _N], _N)]),
+    "<": _cmp(),
+    "<=": _cmp(),
+    ">": _cmp(),
+    ">=": _cmp(),
+    "=": ty.FunType([_N, _N], _B),
+    "add1": _unary_num(),
+    "sub1": _unary_num(),
+    "abs": _unary_num(),
+    "min": _arith(),
+    "max": _arith(),
+    "sqrt": ty.CaseFunType([ty.FunType([_F], _F), ty.FunType([_N], _N)]),
+    "magnitude": ty.CaseFunType(
+        [ty.FunType([ty.FLOAT_COMPLEX], _F), ty.FunType([_R], _R)]
+    ),
+    "exact->inexact": ty.CaseFunType([ty.FunType([_R], _F), ty.FunType([_N], _N)]),
+    "zero?": ty.FunType([_N], _B),
+    "not": ty.FunType([_A], _B),
+    "void": ty.FunType([], _V),
+    "void?": ty.FunType([_A], _B),
+    "display": ty.FunType([_A], _V),
+    "displayln": ty.FunType([_A], _V),
+    "newline": ty.FunType([], _V),
+    "equal?": ty.FunType([_A, _A], _B),
+}
+
+
+def install_base_type_env(ctx: ExpandContext) -> None:
+    table = tenv.type_table(ctx)
+    for name, t in BASE_TYPES.items():
+        table[("module", KERNEL_PATH, name, 0)] = t

@@ -1,0 +1,275 @@
+"""Annotation forms of the ``simple-type`` language (§3.1, §4.1).
+
+These forms reuse the host's binding forms and smuggle type information
+out-of-band through the ``type-annotation`` syntax property, exactly as the
+paper's ``define:`` does: "later stages of processing can read the type
+annotation from the binding, but the type annotation does not affect the
+behavior of Racket's ``define``".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.errors import SyntaxExpansionError
+from repro.langs.base import expand_with, fn_macro
+from repro.langs.simple_type.checker import TYPE_ANNOTATION_KEY
+from repro.modules.registry import Language
+from repro.runtime.values import Symbol
+from repro.syn.syntax import Syntax, datum_to_syntax
+
+
+def _is_colon(stx: Syntax) -> bool:
+    return stx.is_identifier() and stx.e.name == ":"
+
+
+def annotate(ident: Syntax, type_stx: Any) -> Syntax:
+    """Attach a type annotation property to a binder identifier."""
+    return ident.property_put(TYPE_ANNOTATION_KEY, type_stx)
+
+
+def parse_annotated_formal(formal: Syntax) -> Syntax:
+    """``[x : T]`` -> ``x`` carrying the annotation property."""
+    if not (isinstance(formal.e, tuple) and len(formal.e) == 3 and _is_colon(formal.e[1])):
+        raise SyntaxExpansionError("expected [id : type]", formal)
+    ident = formal.e[0]
+    if not ident.is_identifier():
+        raise SyntaxExpansionError("expected an identifier", ident)
+    return annotate(ident, formal.e[2])
+
+
+def parse_maybe_annotated_formal(formal: Syntax) -> Syntax:
+    """``[x : T]`` or plain ``x``."""
+    if formal.is_identifier():
+        return formal
+    return parse_annotated_formal(formal)
+
+
+def function_type_syntax(param_types: list[Syntax], result: Syntax) -> Syntax:
+    """Build the syntax of ``(-> T ... R)``."""
+    arrow = Syntax(Symbol("->"))
+    return datum_to_syntax(None, tuple([arrow, *param_types, result]))
+
+
+def install_forms(lang: Language) -> None:
+    @fn_macro(lang, "define")
+    def define(stx: Syntax, lang: Language) -> Syntax:
+        items = stx.e
+        if not (isinstance(items, tuple) and len(items) >= 3):
+            raise SyntaxExpansionError("define: bad syntax", stx)
+        # (define x : T rhs)
+        if len(items) == 5 and items[1].is_identifier() and _is_colon(items[2]):
+            ann = annotate(items[1], items[3])
+            return expand_with(lang, "(define-values (x) rhs)", x=ann, rhs=items[4])
+        # (define x rhs) — type comes from a (: x T) declaration or inference
+        if len(items) == 3 and items[1].is_identifier():
+            return expand_with(
+                lang, "(define-values (x) rhs)", x=items[1], rhs=items[2]
+            )
+        # (define (f formal ...) [: R] body ...) where each formal is either
+        # [z : T] or a plain identifier
+        if isinstance(items[1].e, tuple) and items[1].e:
+            header = items[1].e
+            fn_name = header[0]
+            if not fn_name.is_identifier():
+                raise SyntaxExpansionError("define: expected a function name", items[1])
+            formals = [parse_maybe_annotated_formal(f) for f in header[1:]]
+            if _is_colon(items[2]):
+                if len(items) < 5:
+                    raise SyntaxExpansionError("define: missing body", stx)
+                result_type: Optional[Syntax] = items[3]
+                body = list(items[4:])
+            else:
+                result_type = None
+                body = list(items[2:])
+            param_types = [f.property_get(TYPE_ANNOTATION_KEY) for f in formals]
+            if result_type is not None and all(p is not None for p in param_types):
+                fn_name = annotate(
+                    fn_name, function_type_syntax(param_types, result_type)
+                )
+            elif result_type is not None:
+                raise SyntaxExpansionError(
+                    "define: result annotation requires annotated parameters", stx
+                )
+            lam = expand_with(
+                lang, "(#%plain-lambda (z ...) body ...)", z=formals, body=body
+            ).property_put("inferred-name", fn_name.e.name)
+            return expand_with(lang, "(define-values (f) lam)", f=fn_name, lam=lam)
+        raise SyntaxExpansionError(
+            "define: expected (define x : T e) or (define (f [x : T] ...) : R body)",
+            stx,
+        )
+
+    @fn_macro(lang, "define:")
+    def define_colon(stx: Syntax, lang: Language) -> Syntax:
+        # the paper's §3.1 form: (define: name : ty rhs)
+        items = stx.e
+        if not (
+            isinstance(items, tuple)
+            and len(items) == 5
+            and items[1].is_identifier()
+            and _is_colon(items[2])
+        ):
+            raise SyntaxExpansionError("define:: bad syntax", stx)
+        ann = annotate(items[1], items[3])
+        return expand_with(lang, "(define-values (name) rhs)", name=ann, rhs=items[4])
+
+    @fn_macro(lang, "lambda:")
+    def lambda_colon(stx: Syntax, lang: Language) -> Syntax:
+        items = stx.e
+        if not (
+            isinstance(items, tuple)
+            and len(items) >= 3
+            and isinstance(items[1].e, tuple)
+        ):
+            raise SyntaxExpansionError("lambda:: bad syntax", stx)
+        formals = [parse_annotated_formal(f) for f in items[1].e]
+        return expand_with(
+            lang,
+            "(#%plain-lambda (z ...) body ...)",
+            z=formals,
+            body=list(items[2:]),
+        )
+
+    @fn_macro(lang, "let:")
+    def let_colon(stx: Syntax, lang: Language) -> Syntax:
+        # (let: ([x : T rhs] ...) body ...) -> ((lambda: ([x : T] ...) body) rhs ...)
+        # (let: loop : R ([x : T rhs] ...) body ...)   (annotated named let)
+        items = stx.e
+        if (
+            isinstance(items, tuple)
+            and len(items) >= 5
+            and items[1].is_identifier()
+            and _is_colon(items[2])
+            and isinstance(items[4].e, tuple)
+        ):
+            return _named_let_colon(stx, lang)
+        if not (
+            isinstance(items, tuple)
+            and len(items) >= 3
+            and isinstance(items[1].e, tuple)
+        ):
+            raise SyntaxExpansionError("let:: bad syntax", stx)
+        formal_specs = []
+        rhss = []
+        for clause in items[1].e:
+            if not (
+                isinstance(clause.e, tuple)
+                and len(clause.e) == 4
+                and _is_colon(clause.e[1])
+            ):
+                raise SyntaxExpansionError("let:: expected [x : T rhs]", clause)
+            formal_specs.append(
+                Syntax(clause.e[:3], clause.scopes, clause.srcloc)
+            )
+            rhss.append(clause.e[3])
+        return expand_with(
+            lang,
+            "((lambda: (spec ...) body ...) rhs ...)",
+            spec=formal_specs,
+            body=list(items[2:]),
+            rhs=rhss,
+        )
+
+    _install_require_typed(lang)
+
+
+def _named_let_colon(stx: Syntax, lang: Language) -> Syntax:
+    """(let: loop : R ([x : T init] ...) body ...) — Typed Racket's
+    annotated named let, for typed tail-recursive loops."""
+    items = stx.e
+    loop_name, result_type, clauses = items[1], items[3], items[4]
+    formals: list[Syntax] = []
+    inits: list[Syntax] = []
+    param_types: list[Syntax] = []
+    for clause in clauses.e:
+        if not (
+            isinstance(clause.e, tuple)
+            and len(clause.e) == 4
+            and _is_colon(clause.e[1])
+        ):
+            raise SyntaxExpansionError("let:: expected [x : T init]", clause)
+        formal = annotate(clause.e[0], clause.e[2])
+        formals.append(formal)
+        param_types.append(clause.e[2])
+        inits.append(clause.e[3])
+    annotated_loop = annotate(
+        loop_name, function_type_syntax(param_types, result_type)
+    )
+    lam = expand_with(
+        lang,
+        "(#%plain-lambda (x ...) body ...)",
+        x=formals,
+        body=list(items[5:]),
+    ).property_put("inferred-name", loop_name.e.name)
+    return expand_with(
+        lang,
+        "((letrec-values (((loop) lam)) loop) init ...)",
+        loop=annotated_loop,
+        lam=lam,
+        init=inits,
+    )
+
+
+def _install_require_typed(lang: Language) -> None:
+    """Fig. 4: typed imports from untyped modules, in three stages."""
+
+    @fn_macro(lang, "require/typed")
+    def require_typed(stx: Syntax, lang: Language) -> Syntax:
+        from repro.langs.typed_common.types import parse_type, serialize
+
+        items = stx.e
+        if not (isinstance(items, tuple) and len(items) >= 3):
+            raise SyntaxExpansionError("require/typed: bad syntax", stx)
+        module_spec = items[1]
+        forms: list[Syntax] = []
+        for clause in items[2:]:
+            if not (isinstance(clause.e, tuple) and len(clause.e) == 2):
+                raise SyntaxExpansionError(
+                    "require/typed: expected [id type]", clause
+                )
+            ident, type_stx = clause.e
+            if not ident.is_identifier():
+                raise SyntaxExpansionError("require/typed: expected an identifier", ident)
+            ser = datum_to_syntax(None, serialize(parse_type(type_stx)))
+            unsafe_id = Syntax(
+                Symbol(f"unsafe-{ident.e.name}"), lang.anchor.scopes, ident.srcloc
+            )
+            # Stage 1: import under a macro-introduced (hence private) name
+            forms.append(
+                expand_with(
+                    lang,
+                    "(#%require (only-in mod (id unsafeid)))",
+                    mod=module_spec,
+                    id=ident,
+                    unsafeid=unsafe_id,
+                )
+            )
+            # Stage 3: contract-protected definition (the typechecker must
+            # not process this meta-information: it is marked to be ignored,
+            # our equivalent of the paper's begin-ignored). Emitted *before*
+            # stage 2 so that the definition's binding exists when the
+            # begin-for-syntax declaration resolves `id` during pass 1.
+            define = expand_with(
+                lang,
+                "(define-values (id)"
+                " (#%plain-app contract"
+                "  (#%plain-app type->contract (quote ser))"
+                "  unsafeid (quote modname) (quote typed-module)))",
+                id=ident,
+                ser=ser,
+                unsafeid=unsafe_id,
+                modname=module_spec,
+            ).property_put("typed-ignore", True)
+            forms.append(define)
+            # Stage 2: declare the type at compile time (persisted via §5)
+            forms.append(
+                expand_with(
+                    lang,
+                    "(begin-for-syntax"
+                    " (#%plain-app add-type! (quote-syntax id) (quote ser)))",
+                    id=ident,
+                    ser=ser,
+                )
+            )
+        return expand_with(lang, "(begin form ...)", form=forms)

@@ -1,0 +1,118 @@
+"""The fig. 5 optimizer: float specialization by source rewriting.
+
+"The optimizer rewrites uses of generic arithmetic operations on
+floating-point numbers to specialized operations" — here, applications of
+``+ - * / < <= > >= =`` whose arguments the checker proved ``Float`` become
+the corresponding ``unsafe-fl`` primitives, which skip the numeric tower's
+dispatch entirely.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.parse import core_form_of
+from repro.expander.env import ExpandContext
+from repro.expander.kernel_scope import core_id
+from repro.langs.typed_common import env as tenv
+from repro.langs.typed_common import types as ty
+from repro.modules.registry import KERNEL_PATH
+from repro.syn.binding import ModuleBinding, TABLE
+from repro.syn.syntax import Syntax
+
+#: generic operation name -> unsafe float-specialized name (binary cases)
+FLOAT_SPECIALIZATIONS = {
+    "+": "unsafe-fl+",
+    "-": "unsafe-fl-",
+    "*": "unsafe-fl*",
+    "/": "unsafe-fl/",
+    "<": "unsafe-fl<",
+    "<=": "unsafe-fl<=",
+    ">": "unsafe-fl>",
+    ">=": "unsafe-fl>=",
+    "=": "unsafe-fl=",
+    "min": "unsafe-flmin",
+    "max": "unsafe-flmax",
+    "abs": "unsafe-flabs",
+    "sqrt": "unsafe-flsqrt",
+}
+
+
+class SimpleOptimizer:
+    def __init__(self, ctx: ExpandContext) -> None:
+        self.ctx = ctx
+        self.expr_types = tenv.expr_types(ctx)
+        self.rewrites = 0
+
+    def type_of(self, stx: Syntax) -> Optional[ty.Type]:
+        return self.expr_types.get(id(stx))
+
+    def _kernel_op_name(self, op: Syntax) -> Optional[str]:
+        if not op.is_identifier():
+            return None
+        binding = TABLE.resolve(op, 0)
+        if isinstance(binding, ModuleBinding) and binding.module_path == KERNEL_PATH:
+            return binding.name.name
+        return None
+
+    def optimize_module_form(self, form: Syntax) -> Syntax:
+        head = core_form_of(form, 0)
+        if head in ("#%provide", "#%require", "define-syntaxes", "begin-for-syntax"):
+            return form
+        if form.property_get("typed-ignore"):
+            return form
+        if head == "define-values":
+            return self._rebuild(form, (form.e[0], form.e[1], self.optimize(form.e[2])))
+        if form.is_identifier() or not isinstance(form.e, tuple):
+            return form
+        return self.optimize(form)
+
+    @staticmethod
+    def _rebuild(stx: Syntax, items: tuple[Syntax, ...]) -> Syntax:
+        return Syntax(items, stx.scopes, stx.srcloc, stx.props)
+
+    def optimize(self, t: Syntax) -> Syntax:
+        head = core_form_of(t, 0)
+        if head is None or head in ("quote", "quote-syntax"):
+            return t
+        if head == "#%plain-app":
+            return self._optimize_app(t)
+        if head == "#%plain-lambda":
+            return self._rebuild(
+                t, (t.e[0], t.e[1], *(self.optimize(e) for e in t.e[2:]))
+            )
+        if head in ("let-values", "letrec-values"):
+            clauses = tuple(
+                self._rebuild(c, (c.e[0], self.optimize(c.e[1]))) for c in t.e[1].e
+            )
+            return self._rebuild(
+                t,
+                (
+                    t.e[0],
+                    Syntax(clauses, t.e[1].scopes, t.e[1].srcloc),
+                    *(self.optimize(e) for e in t.e[2:]),
+                ),
+            )
+        if head in ("if", "begin", "begin0", "#%expression"):
+            return self._rebuild(t, (t.e[0], *(self.optimize(e) for e in t.e[1:])))
+        if head == "set!":
+            return self._rebuild(t, (t.e[0], t.e[1], self.optimize(t.e[2])))
+        return t
+
+    def _optimize_app(self, t: Syntax) -> Syntax:
+        op = t.e[1]
+        args = t.e[2:]
+        new_args = tuple(self.optimize(a) for a in args)
+        new_op = op
+        op_name = self._kernel_op_name(op)
+        if (
+            op_name in FLOAT_SPECIALIZATIONS
+            and 1 <= len(args) <= 2
+            and all(self.type_of(a) == ty.FLOAT for a in args)
+        ):
+            replacement = FLOAT_SPECIALIZATIONS[op_name]
+            # unary cases only exist for abs/sqrt; binary for the rest
+            if (len(args) == 1) == (op_name in ("abs", "sqrt")):
+                new_op = core_id(replacement, op.srcloc)
+                self.rewrites += 1
+        return self._rebuild(t, (t.e[0], new_op, *new_args))

@@ -1,0 +1,538 @@
+"""The initial type environment of the ``typed`` language.
+
+Two mechanisms cover the kernel:
+
+- ``BASE_TYPES`` — ordinary (possibly overloaded) function types;
+- ``DELTA_RULES`` — custom typing rules for operations that are variadic or
+  polymorphic (``+`` over the numeric tower, ``cons``/``car``/``map`` over
+  element types, ...). Full Typed Racket expresses these with variable-arity
+  polymorphism (Strickland et al. 2009); monomorphic delta rules are our
+  scoped-down equivalent (documented in DESIGN.md).
+
+A delta rule receives the checker, the application syntax, the argument
+syntaxes, and their already-computed types, and returns the result type.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence
+
+from repro.errors import TypeCheckError
+from repro.expander.env import ExpandContext
+from repro.langs.typed_common import env as tenv
+from repro.langs.typed_common import types as ty
+from repro.modules.registry import KERNEL_PATH
+from repro.syn.syntax import Syntax
+
+_I, _F, _R, _N, _FC = ty.INTEGER, ty.FLOAT, ty.REAL, ty.NUMBER, ty.FLOAT_COMPLEX
+_B, _A, _V, _S = ty.BOOLEAN, ty.ANY, ty.VOID, ty.STRING
+
+NOTHING = ty.NOTHING  # bottom, for `error`
+
+
+def _numeric_result(argtys: Sequence[ty.Type], where: Syntax, who: str) -> ty.Type:
+    for t in argtys:
+        if not ty.subtype(t, _N):
+            raise TypeCheckError(f"{who}: expected a number", where)
+    for candidate in (_I, _F, _FC, _R):
+        if all(ty.subtype(t, candidate) for t in argtys):
+            return candidate
+    return _N
+
+
+DeltaRule = Callable[[Any, Syntax, Sequence[Syntax], Sequence[ty.Type]], ty.Type]
+DELTA_RULES: dict[str, DeltaRule] = {}
+
+
+def delta(name: str) -> Callable[[DeltaRule], DeltaRule]:
+    def register(rule: DeltaRule) -> DeltaRule:
+        DELTA_RULES[name] = rule
+        return rule
+
+    return register
+
+
+# --- numeric tower -----------------------------------------------------------
+
+
+def _arith_rule(who: str) -> DeltaRule:
+    def rule(checker: Any, t: Syntax, args: Sequence[Syntax],
+             argtys: Sequence[ty.Type]) -> ty.Type:
+        if not argtys:
+            return _I
+        return _numeric_result(argtys, t, who)
+
+    return rule
+
+
+for _name in ("+", "-", "*"):
+    DELTA_RULES[_name] = _arith_rule(_name)
+
+
+@delta("/")
+def _div_rule(checker, t, args, argtys):
+    result = _numeric_result(argtys, t, "/")
+    if result is _I:
+        return _R  # exact division may produce a rational
+    return result
+
+
+def _cmp_rule(who: str, numeric: ty.Type) -> DeltaRule:
+    def rule(checker, t, args, argtys):
+        for a in argtys:
+            if not ty.subtype(a, numeric):
+                raise TypeCheckError(f"{who}: expected {numeric}", t)
+        return _B
+
+    return rule
+
+
+for _name in ("<", "<=", ">", ">="):
+    DELTA_RULES[_name] = _cmp_rule(_name, _R)
+DELTA_RULES["="] = _cmp_rule("=", _N)
+
+
+def _minmax_rule(who: str) -> DeltaRule:
+    def rule(checker, t, args, argtys):
+        result = _numeric_result(argtys, t, who)
+        if result is _FC or result is _N:
+            raise TypeCheckError(f"{who}: expected real numbers", t)
+        return result
+
+    return rule
+
+
+DELTA_RULES["min"] = _minmax_rule("min")
+DELTA_RULES["max"] = _minmax_rule("max")
+
+
+# --- pairs and lists ----------------------------------------------------------
+
+
+def _listof_view(t: ty.Type, where: Syntax, who: str) -> ty.ListofType:
+    """Coerce any list-shaped type to (Listof elem)."""
+    if isinstance(t, ty.ListofType):
+        return t
+    if isinstance(t, ty.BaseType) and t.name == "Null":
+        return ty.ListofType(NOTHING)
+    if isinstance(t, ty.PairType):
+        rest = _listof_view(t.cdr, where, who)
+        return ty.ListofType(ty.join(t.car, rest.element))
+    raise TypeCheckError(f"{who}: expected a list, got {t}", where)
+
+
+@delta("cons")
+def _cons_rule(checker, t, args, argtys):
+    if len(argtys) != 2:
+        raise TypeCheckError("cons: expects 2 arguments", t)
+    return ty.PairType(argtys[0], argtys[1])
+
+
+def _car_rule(who: str) -> DeltaRule:
+    def rule(checker, t, args, argtys):
+        (arg,) = argtys
+        if isinstance(arg, ty.PairType):
+            return arg.car
+        # permitted on (Listof a) for pragmatics (full TR requires occurrence
+        # typing to prove non-emptiness); the runtime check remains in place
+        # because the optimizer only rewrites Pairof accesses.
+        return _listof_view(arg, t, who).element
+
+    return rule
+
+
+def _cdr_rule(who: str) -> DeltaRule:
+    def rule(checker, t, args, argtys):
+        (arg,) = argtys
+        if isinstance(arg, ty.PairType):
+            return arg.cdr
+        return _listof_view(arg, t, who)
+
+    return rule
+
+
+DELTA_RULES["car"] = _car_rule("car")
+DELTA_RULES["first"] = _car_rule("first")
+DELTA_RULES["cdr"] = _cdr_rule("cdr")
+DELTA_RULES["rest"] = _cdr_rule("rest")
+
+
+@delta("list")
+def _list_rule(checker, t, args, argtys):
+    result: ty.Type = ty.NULL_TYPE
+    for a in reversed(argtys):
+        result = ty.PairType(a, result)
+    return result
+
+
+@delta("append")
+def _append_rule(checker, t, args, argtys):
+    views = [_listof_view(a, t, "append") for a in argtys]
+    if not views:
+        return ty.NULL_TYPE
+    elem: ty.Type = NOTHING
+    for view in views:
+        elem = ty.join(elem, view.element) if elem is not NOTHING else view.element
+    return ty.ListofType(elem)
+
+
+@delta("reverse")
+def _reverse_rule(checker, t, args, argtys):
+    return _listof_view(argtys[0], t, "reverse")
+
+
+@delta("length")
+def _length_rule(checker, t, args, argtys):
+    _listof_view(argtys[0], t, "length")
+    return _I
+
+
+@delta("list-ref")
+def _list_ref_rule(checker, t, args, argtys):
+    if not ty.subtype(argtys[1], _I):
+        raise TypeCheckError("list-ref: index must be an Integer", t)
+    return _listof_view(argtys[0], t, "list-ref").element
+
+
+@delta("list-tail")
+def _list_tail_rule(checker, t, args, argtys):
+    return _listof_view(argtys[0], t, "list-tail")
+
+
+def _fun_view(t: ty.Type, arity: int, where: Syntax, who: str) -> ty.FunType:
+    if isinstance(t, ty.FunType) and len(t.params) == arity:
+        return t
+    if isinstance(t, ty.CaseFunType):
+        for case in t.cases:
+            if len(case.params) == arity:
+                return case
+    raise TypeCheckError(f"{who}: expected a {arity}-argument function, got {t}", where)
+
+
+@delta("map")
+def _map_rule(checker, t, args, argtys):
+    if len(argtys) != 2:
+        raise TypeCheckError("map: only single-list map is typed", t)
+    fn = _fun_view(argtys[0], 1, t, "map")
+    elem = _listof_view(argtys[1], t, "map").element
+    if elem is not NOTHING and not ty.subtype(elem, fn.params[0]):
+        raise TypeCheckError("map: function domain does not match list", t)
+    return ty.ListofType(fn.result)
+
+
+@delta("for-each")
+def _for_each_rule(checker, t, args, argtys):
+    if len(argtys) != 2:
+        raise TypeCheckError("for-each: only single-list for-each is typed", t)
+    fn = _fun_view(argtys[0], 1, t, "for-each")
+    elem = _listof_view(argtys[1], t, "for-each").element
+    if elem is not NOTHING and not ty.subtype(elem, fn.params[0]):
+        raise TypeCheckError("for-each: function domain does not match list", t)
+    return _V
+
+
+@delta("filter")
+def _filter_rule(checker, t, args, argtys):
+    fn = _fun_view(argtys[0], 1, t, "filter")
+    view = _listof_view(argtys[1], t, "filter")
+    return view
+
+
+@delta("foldl")
+def _foldl_rule(checker, t, args, argtys):
+    if len(argtys) != 3:
+        raise TypeCheckError("foldl: only single-list foldl is typed", t)
+    fn = _fun_view(argtys[0], 2, t, "foldl")
+    return fn.result
+
+
+DELTA_RULES["foldr"] = DELTA_RULES["foldl"]
+
+
+@delta("sort")
+def _sort_rule(checker, t, args, argtys):
+    return _listof_view(argtys[0], t, "sort")
+
+
+@delta("build-list")
+def _build_list_rule(checker, t, args, argtys):
+    fn = _fun_view(argtys[1], 1, t, "build-list")
+    return ty.ListofType(fn.result)
+
+
+@delta("member")
+def _member_rule(checker, t, args, argtys):
+    view = _listof_view(argtys[1], t, "member")
+    return ty.make_union([_B, view])
+
+
+DELTA_RULES["memq"] = DELTA_RULES["member"]
+DELTA_RULES["memv"] = DELTA_RULES["member"]
+
+
+# --- vectors ---------------------------------------------------------------------
+
+
+def _vector_view(t: ty.Type, where: Syntax, who: str) -> ty.VectorofType:
+    if isinstance(t, ty.VectorofType):
+        return t
+    raise TypeCheckError(f"{who}: expected a vector, got {t}", where)
+
+
+@delta("vector")
+def _vector_rule(checker, t, args, argtys):
+    elem: ty.Type = NOTHING
+    for a in argtys:
+        elem = a if elem is NOTHING else ty.join(elem, a)
+    return ty.VectorofType(elem if elem is not NOTHING else _A)
+
+
+@delta("make-vector")
+def _make_vector_rule(checker, t, args, argtys):
+    if not ty.subtype(argtys[0], _I):
+        raise TypeCheckError("make-vector: size must be an Integer", t)
+    return ty.VectorofType(argtys[1] if len(argtys) > 1 else _I)
+
+
+@delta("vector-ref")
+def _vector_ref_rule(checker, t, args, argtys):
+    view = _vector_view(argtys[0], t, "vector-ref")
+    if not ty.subtype(argtys[1], _I):
+        raise TypeCheckError("vector-ref: index must be an Integer", t)
+    return view.element
+
+
+@delta("vector-set!")
+def _vector_set_rule(checker, t, args, argtys):
+    view = _vector_view(argtys[0], t, "vector-set!")
+    if not ty.subtype(argtys[1], _I):
+        raise TypeCheckError("vector-set!: index must be an Integer", t)
+    if not ty.subtype(argtys[2], view.element):
+        raise TypeCheckError(
+            f"vector-set!: cannot store {argtys[2]} in {view}", t
+        )
+    return _V
+
+
+@delta("vector-length")
+def _vector_length_rule(checker, t, args, argtys):
+    _vector_view(argtys[0], t, "vector-length")
+    return _I
+
+
+@delta("build-vector")
+def _build_vector_rule(checker, t, args, argtys):
+    fn = _fun_view(argtys[1], 1, t, "build-vector")
+    return ty.VectorofType(fn.result)
+
+
+@delta("vector->list")
+def _vector_to_list_rule(checker, t, args, argtys):
+    return ty.ListofType(_vector_view(argtys[0], t, "vector->list").element)
+
+
+@delta("list->vector")
+def _list_to_vector_rule(checker, t, args, argtys):
+    return ty.VectorofType(_listof_view(argtys[0], t, "list->vector").element)
+
+
+@delta("vector-fill!")
+def _vector_fill_rule(checker, t, args, argtys):
+    _vector_view(argtys[0], t, "vector-fill!")
+    return _V
+
+
+@delta("vector-copy")
+def _vector_copy_rule(checker, t, args, argtys):
+    return _vector_view(argtys[0], t, "vector-copy")
+
+
+# --- strings and output -------------------------------------------------------
+
+
+@delta("string-append")
+def _string_append_rule(checker, t, args, argtys):
+    for a in argtys:
+        if not ty.subtype(a, _S):
+            raise TypeCheckError("string-append: expected strings", t)
+    return _S
+
+
+@delta("printf")
+def _printf_rule(checker, t, args, argtys):
+    if not argtys or not ty.subtype(argtys[0], _S):
+        raise TypeCheckError("printf: first argument must be a format string", t)
+    return _V
+
+
+@delta("format")
+def _format_rule(checker, t, args, argtys):
+    if not argtys or not ty.subtype(argtys[0], _S):
+        raise TypeCheckError("format: first argument must be a format string", t)
+    return _S
+
+
+@delta("error")
+def _error_rule(checker, t, args, argtys):
+    return NOTHING
+
+
+@delta("string")
+def _string_rule(checker, t, args, argtys):
+    return _S
+
+
+@delta("list*")
+def _list_star_rule(checker, t, args, argtys):
+    result = argtys[-1]
+    for a in reversed(argtys[:-1]):
+        result = ty.PairType(a, result)
+    return result
+
+
+# --- predicates and equality -----------------------------------------------------
+
+_PREDICATES = (
+    "null?", "pair?", "list?", "number?", "integer?", "exact-integer?",
+    "flonum?", "real?", "boolean?", "string?", "char?", "symbol?",
+    "procedure?", "vector?", "void?", "zero?", "positive?", "negative?",
+    "even?", "odd?", "nan?", "infinite?", "exact?", "inexact?",
+    "float-complex?", "keyword?", "eq?", "eqv?", "equal?", "not",
+    "string=?", "string<?", "string>?", "char=?", "char<?",
+)
+
+
+def _predicate_rule(checker, t, args, argtys):
+    return _B
+
+
+for _name in _PREDICATES:
+    DELTA_RULES[_name] = _predicate_rule
+
+
+# --- fixed-type table --------------------------------------------------------------
+
+
+def _case(*fns: ty.FunType) -> ty.CaseFunType:
+    return ty.CaseFunType(list(fns))
+
+
+def _arith_value_type() -> ty.CaseFunType:
+    """The type arithmetic gets when referenced as a value (e.g. passed to
+    foldl); at application heads the delta rules refine this."""
+    return _case(
+        ty.FunType([_I, _I], _I),
+        ty.FunType([_F, _F], _F),
+        ty.FunType([_FC, _FC], _FC),
+        ty.FunType([_R, _R], _R),
+        ty.FunType([_N, _N], _N),
+    )
+
+
+BASE_TYPES: dict[str, ty.Type] = {
+    "+": _arith_value_type(),
+    "-": _arith_value_type(),
+    "*": _arith_value_type(),
+    "/": _case(
+        ty.FunType([_F, _F], _F),
+        ty.FunType([_FC, _FC], _FC),
+        ty.FunType([_R, _R], _R),
+        ty.FunType([_N, _N], _N),
+    ),
+    "<": ty.FunType([_R, _R], _B),
+    "<=": ty.FunType([_R, _R], _B),
+    ">": ty.FunType([_R, _R], _B),
+    ">=": ty.FunType([_R, _R], _B),
+    "=": ty.FunType([_N, _N], _B),
+    "min": _case(ty.FunType([_I, _I], _I), ty.FunType([_F, _F], _F),
+                 ty.FunType([_R, _R], _R)),
+    "max": _case(ty.FunType([_I, _I], _I), ty.FunType([_F, _F], _F),
+                 ty.FunType([_R, _R], _R)),
+    "zero?": ty.FunType([_N], _B),
+    "positive?": ty.FunType([_R], _B),
+    "negative?": ty.FunType([_R], _B),
+    "even?": ty.FunType([_I], _B),
+    "odd?": ty.FunType([_I], _B),
+    "not": ty.FunType([_A], _B),
+    "null?": ty.FunType([_A], _B),
+    "pair?": ty.FunType([_A], _B),
+    "number?": ty.FunType([_A], _B),
+    "string?": ty.FunType([_A], _B),
+    "symbol?": ty.FunType([_A], _B),
+    "boolean?": ty.FunType([_A], _B),
+    "procedure?": ty.FunType([_A], _B),
+    "flonum?": ty.FunType([_A], _B),
+    "exact-integer?": ty.FunType([_A], _B),
+    "eq?": ty.FunType([_A, _A], _B),
+    "eqv?": ty.FunType([_A, _A], _B),
+    "equal?": ty.FunType([_A, _A], _B),
+    "add1": _case(ty.FunType([_I], _I), ty.FunType([_F], _F), ty.FunType([_R], _R)),
+    "sub1": _case(ty.FunType([_I], _I), ty.FunType([_F], _F), ty.FunType([_R], _R)),
+    "abs": _case(ty.FunType([_I], _I), ty.FunType([_F], _F), ty.FunType([_R], _R)),
+    "quotient": ty.FunType([_I, _I], _I),
+    "remainder": ty.FunType([_I, _I], _I),
+    "modulo": ty.FunType([_I, _I], _I),
+    "gcd": ty.FunType([_I, _I], _I),
+    "sqrt": _case(
+        ty.FunType([_F], _F),
+        ty.FunType([_FC], _FC),
+        ty.FunType([_I], _N),
+        ty.FunType([_R], _N),
+    ),
+    "expt": _case(ty.FunType([_F, _F], _F), ty.FunType([_R, _R], _R),
+                  ty.FunType([_N, _N], _N)),
+    "exp": _case(ty.FunType([_F], _F), ty.FunType([_R], _F), ty.FunType([_FC], _FC)),
+    "log": _case(ty.FunType([_F], _F), ty.FunType([_R], _N), ty.FunType([_FC], _FC)),
+    "sin": _case(ty.FunType([_F], _F), ty.FunType([_R], _F)),
+    "cos": _case(ty.FunType([_F], _F), ty.FunType([_R], _F)),
+    "tan": _case(ty.FunType([_F], _F), ty.FunType([_R], _F)),
+    "asin": _case(ty.FunType([_F], _F), ty.FunType([_R], _F)),
+    "acos": _case(ty.FunType([_F], _F), ty.FunType([_R], _F)),
+    "atan": _case(ty.FunType([_F], _F), ty.FunType([_R], _F),
+                  ty.FunType([_F, _F], _F), ty.FunType([_R, _R], _F)),
+    "floor": _case(ty.FunType([_I], _I), ty.FunType([_F], _F), ty.FunType([_R], _R)),
+    "ceiling": _case(ty.FunType([_I], _I), ty.FunType([_F], _F), ty.FunType([_R], _R)),
+    "truncate": _case(ty.FunType([_I], _I), ty.FunType([_F], _F), ty.FunType([_R], _R)),
+    "round": _case(ty.FunType([_I], _I), ty.FunType([_F], _F), ty.FunType([_R], _R)),
+    "magnitude": _case(ty.FunType([_FC], _F), ty.FunType([_F], _F), ty.FunType([_R], _R)),
+    "real-part": _case(ty.FunType([_FC], _F), ty.FunType([_R], _R)),
+    "imag-part": _case(ty.FunType([_FC], _F), ty.FunType([_R], _R)),
+    "make-rectangular": _case(ty.FunType([_F, _F], _FC), ty.FunType([_R, _R], _N)),
+    "exact->inexact": _case(
+        ty.FunType([_I], _F), ty.FunType([_F], _F), ty.FunType([_R], _F),
+        ty.FunType([_FC], _FC),
+    ),
+    "inexact->exact": _case(ty.FunType([_F], _R), ty.FunType([_R], _R)),
+    "exact": _case(ty.FunType([_F], _R), ty.FunType([_R], _R)),
+    "number->string": ty.FunType([_N], _S),
+    "string->number": ty.FunType([_S], _N),
+    "numerator": ty.FunType([_R], _I),
+    "denominator": ty.FunType([_R], _I),
+    "random": _case(ty.FunType([_I], _I), ty.FunType([], _F)),
+    "random-seed": ty.FunType([_I], _V),
+    "void": ty.FunType([], _V),
+    "display": ty.FunType([_A], _V),
+    "displayln": ty.FunType([_A], _V),
+    "write": ty.FunType([_A], _V),
+    "newline": ty.FunType([], _V),
+    "current-seconds": ty.FunType([], _I),
+    "current-inexact-milliseconds": ty.FunType([], _F),
+    "string-length": ty.FunType([_S], _I),
+    "substring": _case(ty.FunType([_S, _I], _S), ty.FunType([_S, _I, _I], _S)),
+    "string-ref": ty.FunType([_S, _I], ty.CHAR),
+    "string-upcase": ty.FunType([_S], _S),
+    "string-downcase": ty.FunType([_S], _S),
+    "symbol->string": ty.FunType([ty.SYMBOL], _S),
+    "string->symbol": ty.FunType([_S], ty.SYMBOL),
+    "char->integer": ty.FunType([ty.CHAR], _I),
+    "integer->char": ty.FunType([_I], ty.CHAR),
+    "char-upcase": ty.FunType([ty.CHAR], ty.CHAR),
+    "char-downcase": ty.FunType([ty.CHAR], ty.CHAR),
+    "identity": ty.FunType([_A], _A),
+}
+
+
+def install_base_type_env(ctx: ExpandContext) -> None:
+    table = tenv.type_table(ctx)
+    for name, t in BASE_TYPES.items():
+        table[("module", KERNEL_PATH, name, 0)] = t

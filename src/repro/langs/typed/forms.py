@@ -1,0 +1,44 @@
+"""Extra surface forms of the ``typed`` language: ``(: name type)``
+declarations (the §3.2 example style) and ``ann`` ascriptions."""
+
+from __future__ import annotations
+
+from repro.errors import SyntaxExpansionError
+from repro.expander.env import current_context
+from repro.langs.base import expand_with, fn_macro
+from repro.langs.typed.checker import ASCRIPTION_KEY, declared_types
+from repro.langs.typed_common.types import parse_type
+from repro.modules.registry import Language
+from repro.syn.syntax import Syntax
+
+
+def install_typed_forms(lang: Language) -> None:
+    @fn_macro(lang, ":")
+    def colon_declaration(stx: Syntax, lang: Language) -> Syntax:
+        # (: name type)  or  (: name : type) — both appear in the paper
+        items = stx.e
+        if not (isinstance(items, tuple) and len(items) in (3, 4)):
+            raise SyntaxExpansionError(":: expected (: name type)", stx)
+        name = items[1]
+        if not name.is_identifier():
+            raise SyntaxExpansionError(":: expected an identifier", name)
+        if len(items) == 4:
+            sep = items[2]
+            if not (sep.is_identifier() and sep.e.name == ":"):
+                raise SyntaxExpansionError(":: bad syntax", stx)
+            type_stx = items[3]
+        else:
+            type_stx = items[2]
+        # record the declaration in this compilation's store, for the
+        # two-pass checker to find (by name: declarations precede bindings)
+        declared_types(current_context())[name.e.name] = parse_type(type_stx)
+        return expand_with(lang, "(#%plain-app void)")
+
+    @fn_macro(lang, "ann")
+    def ann(stx: Syntax, lang: Language) -> Syntax:
+        # (ann expr type): check expr against type, which becomes its type
+        items = stx.e
+        if not (isinstance(items, tuple) and len(items) == 3):
+            raise SyntaxExpansionError("ann: expected (ann expr type)", stx)
+        wrapped = expand_with(lang, "(#%expression e)", e=items[1])
+        return wrapped.property_put(ASCRIPTION_KEY, items[2])

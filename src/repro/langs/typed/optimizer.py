@@ -1,0 +1,151 @@
+"""The full type-driven optimizer (§7.2).
+
+"Typed Racket uses the same techniques as the simple optimizer ... but
+applies a wider range of optimizations. It supports a number of
+floating-point specialization transformations, eliminates tag-checking made
+redundant by the typechecker and performs arity raising on functions with
+complex number arguments."
+
+Rule groups (individually switchable, for the ablation benchmarks):
+
+- ``float``   — generic arithmetic on proven ``Float`` operands becomes
+                ``unsafe-fl*`` (fig. 5, extended to comparisons, ``sqrt``,
+                ``sin``/``cos``, ``abs``, ``min``/``max``, ``floor``);
+- ``fixnum``  — arithmetic on proven ``Integer`` operands becomes
+                ``unsafe-fx*`` (sound here: host integers are unbounded);
+- ``pairs``   — ``car``/``cdr``/``first``/``rest`` on proven ``Pairof``
+                values skip the pair tag check (``unsafe-car``/``unsafe-cdr``);
+- ``vectors`` — ``vector-ref``/``vector-set!``/``vector-length`` on proven
+                ``Vectorof`` values skip the vector tag check;
+- ``complex`` — arithmetic on proven ``Float-Complex`` operands becomes
+                ``unsafe-fc*``: the specialized, non-dispatching complex
+                path (our stand-in for Typed Racket's unboxing/arity
+                raising, which needs backend support we expose this way).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.langs.simple_type.optimize import SimpleOptimizer
+from repro.langs.typed_common import types as ty
+from repro.expander.env import ExpandContext
+from repro.expander.kernel_scope import core_id
+from repro.syn.syntax import Syntax
+
+ALL_RULES = frozenset({"float", "fixnum", "pairs", "vectors", "complex"})
+
+_FLOAT_OPS = {
+    "+": "unsafe-fl+", "-": "unsafe-fl-", "*": "unsafe-fl*", "/": "unsafe-fl/",
+    "<": "unsafe-fl<", "<=": "unsafe-fl<=", ">": "unsafe-fl>",
+    ">=": "unsafe-fl>=", "=": "unsafe-fl=",
+    "min": "unsafe-flmin", "max": "unsafe-flmax",
+}
+_FLOAT_UNARY = {
+    "abs": "unsafe-flabs", "sqrt": "unsafe-flsqrt",
+    "sin": "unsafe-flsin", "cos": "unsafe-flcos", "floor": "unsafe-flfloor",
+    "-": "unsafe-flneg",
+}
+_FIXNUM_OPS = {
+    "+": "unsafe-fx+", "-": "unsafe-fx-", "*": "unsafe-fx*",
+    "<": "unsafe-fx<", "<=": "unsafe-fx<=", ">": "unsafe-fx>",
+    ">=": "unsafe-fx>=", "=": "unsafe-fx=",
+    "quotient": "unsafe-fxquotient", "remainder": "unsafe-fxremainder",
+}
+_COMPLEX_OPS = {
+    "+": "unsafe-fc+", "-": "unsafe-fc-", "*": "unsafe-fc*", "/": "unsafe-fc/",
+}
+_COMPLEX_UNARY = {
+    "magnitude": "unsafe-fcmagnitude",
+    "real-part": "unsafe-fcreal-part",
+    "imag-part": "unsafe-fcimag-part",
+}
+_PAIR_OPS = {"car": "unsafe-car", "cdr": "unsafe-cdr",
+             "first": "unsafe-car", "rest": "unsafe-cdr"}
+_VECTOR_OPS = {
+    "vector-ref": "unsafe-vector-ref",
+    "vector-set!": "unsafe-vector-set!",
+    "vector-length": "unsafe-vector-length",
+}
+
+
+class FullOptimizer(SimpleOptimizer):
+    def __init__(self, ctx: ExpandContext, rules: frozenset[str] = ALL_RULES) -> None:
+        super().__init__(ctx)
+        self.rules = rules
+
+    def _all_are(self, args: Sequence[Syntax], expected: ty.Type) -> bool:
+        return bool(args) and all(self.type_of(a) == expected for a in args)
+
+    def _optimize_app(self, t: Syntax) -> Syntax:
+        op = t.e[1]
+        args = t.e[2:]
+        new_args = tuple(self.optimize(a) for a in args)
+        incr = self._specialize_incr(op, args)
+        if incr is not None:
+            # (add1 e) / (sub1 e) -> (unsafe-?x+/- e 1) — arity changes
+            new_op, literal = incr
+            self.rewrites += 1
+            one = Syntax((core_id("quote", op.srcloc), Syntax(literal)), t.scopes, t.srcloc)
+            return self._rebuild(
+                t, (t.e[0], core_id(new_op, op.srcloc), new_args[0], one)
+            )
+        replacement = self._specialize(op, args)
+        if replacement is not None:
+            self.rewrites += 1
+            new_op_stx: Syntax = core_id(replacement, op.srcloc)
+        else:
+            new_op_stx = self.optimize(op)
+        return self._rebuild(t, (t.e[0], new_op_stx, *new_args))
+
+    def _specialize_incr(
+        self, op: Syntax, args: Sequence[Syntax]
+    ) -> Optional[tuple[str, object]]:
+        name = self._kernel_op_name(op)
+        if name not in ("add1", "sub1") or len(args) != 1:
+            return None
+        arg_type = self.type_of(args[0])
+        suffix = "+" if name == "add1" else "-"
+        if "fixnum" in self.rules and arg_type == ty.INTEGER:
+            return (f"unsafe-fx{suffix}", 1)
+        if "float" in self.rules and arg_type == ty.FLOAT:
+            return (f"unsafe-fl{suffix}", 1.0)
+        return None
+
+    def _specialize(self, op: Syntax, args: Sequence[Syntax]) -> Optional[str]:
+        name = self._kernel_op_name(op)
+        if name is None:
+            return None
+        if "float" in self.rules:
+            if len(args) == 2 and name in _FLOAT_OPS and self._all_are(args, ty.FLOAT):
+                return _FLOAT_OPS[name]
+            if len(args) == 1 and name in _FLOAT_UNARY and self._all_are(args, ty.FLOAT):
+                return _FLOAT_UNARY[name]
+        if "fixnum" in self.rules:
+            if len(args) == 2 and name in _FIXNUM_OPS and self._all_are(args, ty.INTEGER):
+                return _FIXNUM_OPS[name]
+        if "complex" in self.rules:
+            if (
+                len(args) == 2
+                and name in _COMPLEX_OPS
+                and all(
+                    self.type_of(a) in (ty.FLOAT_COMPLEX,) for a in args
+                )
+            ):
+                return _COMPLEX_OPS[name]
+            if (
+                len(args) == 1
+                and name in _COMPLEX_UNARY
+                and self.type_of(args[0]) == ty.FLOAT_COMPLEX
+            ):
+                return _COMPLEX_UNARY[name]
+        if "pairs" in self.rules:
+            if len(args) == 1 and name in _PAIR_OPS:
+                arg_type = self.type_of(args[0])
+                if isinstance(arg_type, ty.PairType):
+                    return _PAIR_OPS[name]
+        if "vectors" in self.rules:
+            if name in _VECTOR_OPS and args:
+                if isinstance(self.type_of(args[0]), ty.VectorofType):
+                    return _VECTOR_OPS[name]
+        return None

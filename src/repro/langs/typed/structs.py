@@ -1,0 +1,106 @@
+"""Typed structs: ``(struct point ([x : Float] [y : Float]))``.
+
+Extends the ``typed`` language with nominal struct types. The macro expands
+to the same ``make-struct-type`` core the untyped ``struct`` uses, and then
+registers — through ordinary ``(begin-for-syntax (add-type! ...))``
+declarations — the types of the generated constructor, predicate, and
+accessors. Because those declarations ride the §5 machinery, typed structs
+work across separately compiled modules, and the checker's knowledge of the
+struct type flows to the optimizer (accessor applications on proven struct
+values could drop their tag checks).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SyntaxExpansionError
+from repro.expander.env import current_context
+from repro.langs.base import expand_with, fn_macro
+from repro.langs.simple_type.checker import TYPE_ANNOTATION_KEY
+from repro.langs.simple_type.forms import parse_annotated_formal
+from repro.langs.typed_common import types as ty
+from repro.modules.registry import Language
+from repro.runtime.values import Symbol
+from repro.syn.syntax import Syntax, datum_to_syntax
+
+
+def install_typed_structs(lang: Language) -> None:
+    @fn_macro(lang, "struct")
+    def typed_struct(stx: Syntax, lang: Language) -> Syntax:
+        items = stx.e
+        if not (
+            isinstance(items, tuple)
+            and len(items) >= 3
+            and items[1].is_identifier()
+            and isinstance(items[2].e, tuple)
+        ):
+            raise SyntaxExpansionError(
+                "struct: expected (struct name ([field : Type] ...))", stx
+            )
+        name = items[1]
+        formals = [parse_annotated_formal(f) for f in items[2].e]
+        field_names = [f.e.name for f in formals]
+        field_types = [
+            ty.parse_type(f.property_get(TYPE_ANNOTATION_KEY)) for f in formals
+        ]
+        for option in items[3:]:
+            raise SyntaxExpansionError(
+                "struct: options are not supported in the typed language", option
+            )
+
+        ctx = current_context()
+        base = name.e.name
+        struct_type = ty.StructType(
+            f"{ctx.module_path}:{base}", field_names, field_types
+        )
+        # register the type name for annotations in this compilation, and
+        # (below, via a begin-for-syntax declaration) in client compilations
+        ctx.store(ty.NAMED_TYPES_STORE, dict)[base] = struct_type
+
+        def derived(text: str) -> Syntax:
+            return Syntax(Symbol(text), name.scopes, name.srcloc)
+
+        ctor = derived(base)
+        predicate = derived(f"{base}?")
+        accessors = [derived(f"{base}-{field}") for field in field_names]
+
+        typed_bindings: list[tuple[Syntax, ty.Type]] = [
+            (ctor, ty.FunType(field_types, struct_type)),
+            (predicate, ty.FunType([ty.ANY], ty.BOOLEAN)),
+        ]
+        typed_bindings += [
+            (accessor, ty.FunType([struct_type], field_type))
+            for accessor, field_type in zip(accessors, field_types)
+        ]
+        decls = [
+            expand_with(
+                lang,
+                "(begin-for-syntax"
+                " (#%plain-app declare-named-type! (quote base) (quote ser)))",
+                base=Syntax(Symbol(base)),
+                ser=datum_to_syntax(None, ty.serialize(struct_type)),
+            )
+        ]
+        decls += [
+            expand_with(
+                lang,
+                "(begin-for-syntax"
+                " (#%plain-app add-type! (quote-syntax n) (quote ser)))",
+                n=ident,
+                ser=datum_to_syntax(None, ty.serialize(binding_type)),
+            )
+            for ident, binding_type in typed_bindings
+        ]
+        definition = expand_with(
+            lang,
+            "(define-values (ctor predicate accessor ...)"
+            " (#%plain-app make-struct-type (quote name) (quote n)"
+            "  (quote #f) (quote #f)))",
+            ctor=ctor,
+            predicate=predicate,
+            accessor=accessors,
+            name=name,
+            n=Syntax(len(field_names)),
+        ).property_put("typed-ignore", True)
+        return expand_with(
+            lang, "(begin definition decl ...)", definition=definition, decl=decls
+        )

@@ -1,0 +1,71 @@
+"""Type -> contract translation (§6: "the type is converted to a contract
+and attached to the procedure on import")."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.contracts.contract import (
+    ANY,
+    Contract,
+    FlatContract,
+    FunctionContract,
+    ListOfContract,
+    OrContract,
+    PairOfContract,
+    VectorOfContract,
+)
+from repro.errors import TypeCheckError
+from repro.runtime import numerics as num
+from repro.runtime import values as v
+from repro.langs.typed_common import types as ty
+
+_FLAT_PREDICATES = {
+    "Integer": ("exact-integer?", num.is_exact_integer),
+    "Float": ("flonum?", num.is_flonum),
+    "Real": ("real?", num.is_real),
+    "Number": ("number?", num.is_number),
+    "Float-Complex": ("float-complex?", num.is_float_complex),
+    "Boolean": ("boolean?", lambda x: isinstance(x, bool)),
+    "String": ("string?", lambda x: isinstance(x, str)),
+    "Char": ("char?", lambda x: isinstance(x, v.Char)),
+    "Symbol": ("symbol?", lambda x: isinstance(x, v.Symbol)),
+    "Void": ("void?", lambda x: x is v.VOID),
+    "Null": ("null?", lambda x: x is v.NULL),
+}
+
+
+def type_to_contract(t: ty.Type) -> Contract:
+    if isinstance(t, ty.BaseType):
+        if t.name == "Any":
+            return ANY
+        entry = _FLAT_PREDICATES.get(t.name)
+        if entry is None:  # pragma: no cover - all base types covered
+            raise TypeCheckError(f"no contract for type {t}")
+        return FlatContract(*entry)
+    if isinstance(t, ty.FunType):
+        return FunctionContract(
+            [type_to_contract(p) for p in t.params], type_to_contract(t.result)
+        )
+    if isinstance(t, ty.CaseFunType):
+        # A full case-> contract would dispatch per arity; for simplicity the
+        # generated contract checks only that the value is a procedure
+        # (documented substitution — Typed Racket generates case-> contracts).
+        return FlatContract("procedure?", lambda x: isinstance(x, v.Procedure))
+    if isinstance(t, ty.ListofType):
+        return ListOfContract(type_to_contract(t.element))
+    if isinstance(t, ty.PairType):
+        return PairOfContract(type_to_contract(t.car), type_to_contract(t.cdr))
+    if isinstance(t, ty.VectorofType):
+        return VectorOfContract(type_to_contract(t.element))
+    if isinstance(t, ty.UnionType):
+        return OrContract([type_to_contract(m) for m in t.members])
+    if isinstance(t, ty.StructType):
+        from repro.runtime.structs import StructInstance
+
+        base = t.tag.rsplit(":", 1)[-1]
+        return FlatContract(
+            f"{base}?",
+            lambda x: isinstance(x, StructInstance) and x.descriptor.name == base,
+        )
+    raise TypeCheckError(f"no contract for type {t}")  # pragma: no cover

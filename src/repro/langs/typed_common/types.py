@@ -1,0 +1,357 @@
+"""Types, subtyping, parsing, and serialization for the typed languages.
+
+The type grammar (a faithful miniature of Typed Racket's):
+
+    T ::= Integer | Float | Real | Number | Float-Complex
+        | Boolean | String | Char | Symbol | Void | Any
+        | (-> T ... T)  |  (T ... -> T)
+        | (Listof T) | (List T ...) | (Pairof T T) | Null | (Vectorof T)
+        | (U T ...)
+        | (case-> (-> T ... T) ...)
+
+Types serialize to s-expression data (``serialize``/``parse_type_datum``),
+which is how compiled typed modules persist exported types: the compiled
+artifact carries ``(begin-for-syntax (add-type! (quote-syntax n) 'ser))``
+declarations whose payload is this serialization (§5).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional, Sequence
+
+from repro.errors import TypeCheckError
+from repro.runtime.values import NULL, Pair, Symbol, from_list, to_list
+from repro.syn.syntax import Syntax, syntax_to_datum
+
+
+class Type:
+    name: str = "type"
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def __eq__(self, other: Any) -> bool:
+        return isinstance(other, Type) and serialize(self) == serialize(other)
+
+    def __hash__(self) -> int:
+        return hash(str(serialize(self)))
+
+
+class BaseType(Type):
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+
+INTEGER = BaseType("Integer")
+FLOAT = BaseType("Float")
+REAL = BaseType("Real")
+NUMBER = BaseType("Number")
+FLOAT_COMPLEX = BaseType("Float-Complex")
+BOOLEAN = BaseType("Boolean")
+STRING = BaseType("String")
+CHAR = BaseType("Char")
+SYMBOL = BaseType("Symbol")
+VOID = BaseType("Void")
+ANY = BaseType("Any")
+NULL_TYPE = BaseType("Null")
+NOTHING = BaseType("Nothing")  # the bottom type (e.g. the result of `error`)
+
+_BASE_TYPES = {
+    t.name: t
+    for t in (
+        INTEGER, FLOAT, REAL, NUMBER, FLOAT_COMPLEX, BOOLEAN, STRING, CHAR,
+        SYMBOL, VOID, ANY, NULL_TYPE, NOTHING,
+    )
+}
+
+#: numeric-tower subtyping edges (transitively closed in `subtype`)
+_NUMERIC_SUPERS: dict[str, tuple[str, ...]] = {
+    "Integer": ("Real", "Number"),
+    "Float": ("Real", "Number"),
+    "Real": ("Number",),
+    "Float-Complex": ("Number",),
+}
+
+
+class FunType(Type):
+    def __init__(self, params: Sequence[Type], result: Type) -> None:
+        self.params = list(params)
+        self.result = result
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        parts = " ".join(str(p) for p in self.params)
+        return f"(-> {parts} {self.result})" if parts else f"(-> {self.result})"
+
+
+class CaseFunType(Type):
+    """An overloaded function type; applications try cases in order."""
+
+    def __init__(self, cases: Sequence[FunType]) -> None:
+        self.cases = list(cases)
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return "(case-> " + " ".join(str(c) for c in self.cases) + ")"
+
+
+class ListofType(Type):
+    def __init__(self, element: Type) -> None:
+        self.element = element
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"(Listof {self.element})"
+
+
+class PairType(Type):
+    def __init__(self, car: Type, cdr: Type) -> None:
+        self.car = car
+        self.cdr = cdr
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"(Pairof {self.car} {self.cdr})"
+
+
+class VectorofType(Type):
+    def __init__(self, element: Type) -> None:
+        self.element = element
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"(Vectorof {self.element})"
+
+
+class UnionType(Type):
+    def __init__(self, members: Sequence[Type]) -> None:
+        self.members = list(members)
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return "(U " + " ".join(str(m) for m in self.members) + ")"
+
+
+class StructType(Type):
+    """A nominal struct type; identity is the module-qualified tag."""
+
+    def __init__(
+        self, tag: str, field_names: Sequence[str], field_types: Sequence[Type]
+    ) -> None:
+        self.tag = tag
+        self.field_names = list(field_names)
+        self.field_types = list(field_types)
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        base = self.tag.rsplit(":", 1)[-1]
+        return f"#(struct:{base})"
+
+
+def make_union(members: Iterable[Type]) -> Type:
+    """Normalize a union: flatten, dedupe, drop subsumed members."""
+    flat: list[Type] = []
+    for m in members:
+        if isinstance(m, UnionType):
+            flat.extend(m.members)
+        else:
+            flat.append(m)
+    kept: list[Type] = []
+    for m in flat:
+        if any(subtype(m, k) for k in kept):
+            continue
+        kept = [k for k in kept if not subtype(k, m)]
+        kept.append(m)
+    if len(kept) == 1:
+        return kept[0]
+    return UnionType(kept)
+
+
+# --- subtyping -----------------------------------------------------------------
+
+
+def subtype(a: Type, b: Type) -> bool:
+    if a is b or (isinstance(a, BaseType) and isinstance(b, BaseType) and a.name == b.name):
+        return True
+    if isinstance(b, BaseType) and b.name == "Any":
+        return True
+    if isinstance(a, BaseType) and a.name == "Nothing":
+        return True
+    if isinstance(a, UnionType):
+        return all(subtype(m, b) for m in a.members)
+    if isinstance(b, UnionType):
+        return any(subtype(a, m) for m in b.members)
+    if isinstance(a, BaseType) and isinstance(b, BaseType):
+        return b.name in _NUMERIC_SUPERS.get(a.name, ())
+    if isinstance(b, ListofType):
+        if isinstance(a, BaseType) and a.name == "Null":
+            return True
+        if isinstance(a, ListofType):
+            return subtype(a.element, b.element)
+        if isinstance(a, PairType):
+            return subtype(a.car, b.element) and subtype(a.cdr, b)
+        return False
+    if isinstance(a, PairType) and isinstance(b, PairType):
+        return subtype(a.car, b.car) and subtype(a.cdr, b.cdr)
+    if isinstance(a, VectorofType) and isinstance(b, VectorofType):
+        # invariant: vectors are mutable
+        return subtype(a.element, b.element) and subtype(b.element, a.element)
+    if isinstance(b, FunType):
+        if isinstance(a, FunType):
+            return (
+                len(a.params) == len(b.params)
+                and all(subtype(bp, ap) for ap, bp in zip(a.params, b.params))
+                and subtype(a.result, b.result)
+            )
+        if isinstance(a, CaseFunType):
+            return any(subtype(case, b) for case in a.cases)
+    if isinstance(b, CaseFunType):
+        return all(subtype(a, case) for case in b.cases)
+    if isinstance(a, StructType) and isinstance(b, StructType):
+        return a.tag == b.tag
+    return False
+
+
+def join(a: Type, b: Type) -> Type:
+    """Least upper bound (used for `if` in the full typed language)."""
+    if subtype(a, b):
+        return b
+    if subtype(b, a):
+        return a
+    return make_union([a, b])
+
+
+# --- parsing --------------------------------------------------------------------
+
+
+def parse_type(stx: Syntax) -> Type:
+    """Parse a type from syntax (as written in annotations)."""
+    return parse_type_datum(syntax_to_datum(stx), stx)
+
+
+NAMED_TYPES_STORE = "typed:named-types"
+
+
+def _lookup_named_type(name: str) -> Optional[Type]:
+    """Consult the active compilation's named-type table (e.g. struct names).
+
+    Returns None when no compilation is active or the name is unknown.
+    """
+    from repro.expander.env import _CONTEXT_STACK
+
+    if not _CONTEXT_STACK:
+        return None
+    table = _CONTEXT_STACK[-1].stores.get(NAMED_TYPES_STORE)
+    if table is None:
+        return None
+    return table.get(name)
+
+
+def parse_type_datum(d: Any, stx: Optional[Syntax] = None) -> Type:
+    if isinstance(d, Symbol):
+        t = _BASE_TYPES.get(d.name)
+        if t is None:
+            named = _lookup_named_type(d.name)
+            if named is not None:
+                return named
+            raise TypeCheckError(f"unknown type: {d.name}", stx)
+        return t
+    if isinstance(d, Pair):  # runtime-list form (from serialization)
+        d = tuple(_pair_tree_to_tuple(x) for x in to_list(d))
+    if isinstance(d, tuple) and d:
+        head = d[0]
+        head_name = head.name if isinstance(head, Symbol) else None
+        if head_name == "->":
+            if len(d) < 2:
+                raise TypeCheckError("bad function type", stx)
+            return FunType([parse_type_datum(p, stx) for p in d[1:-1]],
+                           parse_type_datum(d[-1], stx))
+        # infix: (T ... -> R)
+        arrow_positions = [
+            i for i, x in enumerate(d) if isinstance(x, Symbol) and x.name == "->"
+        ]
+        if len(arrow_positions) == 1 and 0 < arrow_positions[0] == len(d) - 2:
+            i = arrow_positions[0]
+            return FunType(
+                [parse_type_datum(p, stx) for p in d[:i]],
+                parse_type_datum(d[-1], stx),
+            )
+        if head_name == "case->":
+            cases = []
+            for c in d[1:]:
+                parsed = parse_type_datum(c, stx)
+                if not isinstance(parsed, FunType):
+                    raise TypeCheckError("case-> expects function types", stx)
+                cases.append(parsed)
+            return CaseFunType(cases)
+        if head_name == "Listof" and len(d) == 2:
+            return ListofType(parse_type_datum(d[1], stx))
+        if head_name == "Vectorof" and len(d) == 2:
+            return VectorofType(parse_type_datum(d[1], stx))
+        if head_name == "Pairof" and len(d) == 3:
+            return PairType(parse_type_datum(d[1], stx), parse_type_datum(d[2], stx))
+        if head_name == "List":
+            result: Type = NULL_TYPE
+            for elem in reversed(d[1:]):
+                result = PairType(parse_type_datum(elem, stx), result)
+            return result
+        if head_name == "U":
+            return make_union(parse_type_datum(m, stx) for m in d[1:])
+        if head_name == "Struct" and len(d) == 4:
+            tag, names, types = d[1], d[2], d[3]
+            return StructType(
+                tag.name,
+                [n.name for n in names],
+                [parse_type_datum(x, stx) for x in types],
+            )
+        raise TypeCheckError(f"unknown type constructor: {head_name}", stx)
+    raise TypeCheckError(f"bad type syntax: {d!r}", stx)
+
+
+def _pair_tree_to_tuple(x: Any) -> Any:
+    if isinstance(x, Pair) or x is NULL:
+        return tuple(_pair_tree_to_tuple(i) for i in to_list(x))
+    return x
+
+
+# --- serialization ---------------------------------------------------------------
+
+
+def serialize(t: Type) -> Any:
+    """Type -> datum (tuples and symbols), invertible via parse_type_datum."""
+    if isinstance(t, BaseType):
+        return Symbol(t.name)
+    if isinstance(t, FunType):
+        return (Symbol("->"), *[serialize(p) for p in t.params], serialize(t.result))
+    if isinstance(t, CaseFunType):
+        return (Symbol("case->"), *[serialize(c) for c in t.cases])
+    if isinstance(t, ListofType):
+        return (Symbol("Listof"), serialize(t.element))
+    if isinstance(t, VectorofType):
+        return (Symbol("Vectorof"), serialize(t.element))
+    if isinstance(t, PairType):
+        return (Symbol("Pairof"), serialize(t.car), serialize(t.cdr))
+    if isinstance(t, UnionType):
+        return (Symbol("U"), *[serialize(m) for m in t.members])
+    if isinstance(t, StructType):
+        return (
+            Symbol("Struct"),
+            Symbol(t.tag),
+            tuple(Symbol(n) for n in t.field_names),
+            tuple(serialize(f) for f in t.field_types),
+        )
+    raise TypeCheckError(f"cannot serialize type: {t}")  # pragma: no cover
+
+
+def serialize_to_value(t: Type) -> Any:
+    """Type -> object-language list value (for embedding under `quote`)."""
+
+    def convert(d: Any) -> Any:
+        if isinstance(d, tuple):
+            return from_list([convert(x) for x in d])
+        return d
+
+    return convert(serialize(t))

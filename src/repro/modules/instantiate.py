@@ -1,0 +1,20 @@
+"""Module instantiation: run a compiled module's phase-0 body in a namespace."""
+
+from __future__ import annotations
+
+from repro.core.compile import Compiler
+from repro.core.namespace import Namespace
+from repro.modules.registry import ModuleRegistry
+
+
+def instantiate_module(registry: ModuleRegistry, path: str, ns: Namespace) -> None:
+    """Instantiate ``path`` (and, first, its requires) into ``ns``. Idempotent."""
+    compiled = registry.get_compiled(path)
+    if ns.instantiated.get(path):
+        return
+    ns.instantiated[path] = True
+    for req in compiled.requires:
+        instantiate_module(registry, req, ns)
+    compiler = Compiler(ns)
+    for form in compiled.body.forms:
+        compiler.compile_module_form(form)()

@@ -1,0 +1,323 @@
+"""Module registry: languages, compiled modules, and namespaces.
+
+A *language* here is exactly the paper's notion (§2.3): "a library that
+provides ... a set of bindings ... which constitute the base environment of
+modules written in the language, and a binding named ``#%module-begin``".
+Language libraries are Python packages built on the same syntax-object API
+that object-language macros use.
+
+A :class:`CompiledModule` is the persistent result of compilation: the
+phase-0 core body, the export table, and the **replayable phase-1
+declarations** (:class:`SyntaxDecl`). Visiting a compiled module during a
+client's compilation replays those declarations into the client's fresh
+compile-time store — the §5 mechanism ("include code in the resulting module
+that populates the type environment every time the module is required").
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.errors import ModuleError
+from repro.runtime.primitives import PRIMITIVES
+from repro.runtime.values import Symbol
+from repro.syn.binding import Binding, CoreFormBinding, ModuleBinding
+from repro.expander.core_forms import CORE_FORMS
+
+if TYPE_CHECKING:
+    from repro.core.ast import CoreModuleBody
+    from repro.core.namespace import Namespace
+    from repro.expander.env import ExpandContext
+
+KERNEL_PATH = "#%kernel"
+
+
+class Export:
+    """One exported name of a module or language."""
+
+    __slots__ = ("name", "binding", "transformer")
+
+    def __init__(self, name: str, binding: Binding, transformer: Any = None) -> None:
+        self.name = name
+        self.binding = binding
+        #: Python callable / object closure for macros provided directly by a
+        #: Python-implemented language; None for plain variables and for
+        #: object-language macros (whose transformers are installed by
+        #: replaying the defining module's SyntaxDecls).
+        self.transformer = transformer
+
+    def __repr__(self) -> str:
+        kind = "macro" if self.transformer is not None else "value"
+        return f"#<export {self.name} ({kind})>"
+
+
+class SyntaxDecl:
+    """A phase-1 declaration replayed whenever the module is visited."""
+
+    def replay(self, ctx: "ExpandContext") -> None:
+        raise NotImplementedError
+
+
+class DefineSyntaxesDecl(SyntaxDecl):
+    """An object-language ``define-syntaxes``: re-evaluate the compiled
+    right-hand side in the visiting compilation's fresh phase-1 store."""
+
+    def __init__(self, bindings: list[ModuleBinding], core: Any, py_value: Any = None) -> None:
+        self.bindings = bindings
+        self.core = core  # CoreExpr or None
+        self.py_value = py_value  # pre-built transformer (e.g. syntax-rules)
+
+    def replay(self, ctx: "ExpandContext") -> None:
+        from repro.expander.env import TransformerMeaning
+
+        if self.py_value is not None:
+            values = [self.py_value]
+        else:
+            from repro.core.compile import Compiler
+            from repro.runtime.values import Values
+
+            result = Compiler(ctx.phase1_ns).compile_expr(self.core, None, False)(None)
+            values = list(result.items) if isinstance(result, Values) else [result]
+        if len(values) != len(self.bindings):
+            raise ModuleError(
+                f"define-syntaxes: expected {len(self.bindings)} values, got {len(values)}"
+            )
+        for binding, value in zip(self.bindings, values):
+            ctx.set_meaning(binding, TransformerMeaning(value))
+
+
+class ForSyntaxDecl(SyntaxDecl):
+    """A ``begin-for-syntax`` body: run for effect in the visiting store."""
+
+    def __init__(self, core: Any) -> None:
+        self.core = core  # CoreExpr
+
+    def replay(self, ctx: "ExpandContext") -> None:
+        from repro.core.compile import Compiler
+
+        Compiler(ctx.phase1_ns).compile_expr(self.core, None, False)(None)
+
+
+class PyDecl(SyntaxDecl):
+    """A phase-1 declaration implemented in Python (used by Python-implemented
+    languages, e.g. the typed languages' type-environment registration)."""
+
+    def __init__(self, fn: Callable[["ExpandContext"], None]) -> None:
+        self.fn = fn
+
+    def replay(self, ctx: "ExpandContext") -> None:
+        self.fn(ctx)
+
+
+class CompiledModule:
+    def __init__(
+        self,
+        path: str,
+        language: str,
+        requires: list[str],
+        body: "CoreModuleBody",
+        exports: dict[str, Export],
+        syntax_decls: list[SyntaxDecl],
+    ) -> None:
+        self.path = path
+        self.language = language
+        self.requires = requires
+        self.body = body
+        self.exports = exports
+        self.syntax_decls = syntax_decls
+
+    def __repr__(self) -> str:
+        return f"#<compiled-module {self.path}>"
+
+
+class Language:
+    """A language: a base environment plus a ``#%module-begin``.
+
+    Each language owns an *anchor scope* in which all of its exports are
+    bound; syntax built with the language's :attr:`anchor` as lexical context
+    therefore resolves introduced identifiers to the language's own bindings
+    (plus the kernel). This plays the role that a Racket language module's
+    own lexical context plays for the syntax templates in its transformers.
+    """
+
+    def __init__(self, name: str, exports: Optional[dict[str, Export]] = None) -> None:
+        from repro.syn.scopes import Scope
+
+        self.name = name
+        self.path = f"#%lang:{name}"
+        self.exports: dict[str, Export] = {}
+        self.scope = Scope(f"lang:{name}")
+        self._anchor: Any = None
+        if exports:
+            for export_name, export in exports.items():
+                self.export(export_name, export.binding, export.transformer)
+
+    @property
+    def anchor(self) -> Any:
+        """A syntax object carrying this language's scope plus the core scope."""
+        if self._anchor is None:
+            from repro.expander.kernel_scope import CORE_SCOPE
+            from repro.syn.syntax import Syntax
+
+            self._anchor = Syntax(
+                Symbol("#%lang-anchor"), frozenset({self.scope, CORE_SCOPE})
+            )
+        return self._anchor
+
+    def export(self, name: str, binding: Binding, transformer: Any = None) -> None:
+        from repro.syn.binding import TABLE
+
+        self.exports[name] = Export(name, binding, transformer)
+        scopes = frozenset({self.scope})
+        sym = Symbol(name)
+        TABLE.add(sym, scopes, binding, phase=0)
+        TABLE.add(sym, scopes, binding, phase=1)
+
+    def export_macro(self, name: str, transformer: Callable[..., Any]) -> None:
+        self.export(name, ModuleBinding(self.path, Symbol(name)), transformer)
+
+    def inherit(self, other: "Language", *, exclude: tuple[str, ...] = ()) -> None:
+        for name, export in other.exports.items():
+            if name not in exclude:
+                self.export(name, export.binding, export.transformer)
+
+    def __repr__(self) -> str:
+        return f"#<language {self.name}>"
+
+
+def _kernel_exports() -> dict[str, Export]:
+    exports: dict[str, Export] = {}
+    for name, binding in CORE_FORMS.items():
+        exports[name] = Export(name, binding)
+    for name in PRIMITIVES:
+        exports[name] = Export(name, ModuleBinding(KERNEL_PATH, Symbol(name)))
+    # `syntax-rules` is recognized specially by define-syntaxes
+    exports["syntax-rules"] = Export(
+        "syntax-rules", ModuleBinding(KERNEL_PATH, Symbol("syntax-rules"))
+    )
+    # `quasisyntax` (#`) is a kernel macro, for procedural object macros
+    from repro.expander.quasisyntax import expand_quasisyntax
+
+    exports["quasisyntax"] = Export(
+        "quasisyntax",
+        ModuleBinding(KERNEL_PATH, Symbol("quasisyntax")),
+        transformer=expand_quasisyntax,
+    )
+    return exports
+
+
+class ModuleRegistry:
+    """Languages + module sources + compiled modules + namespace factory."""
+
+    def __init__(self) -> None:
+        self.languages: dict[str, Language] = {}
+        self.sources: dict[str, tuple[str, list[Any]]] = {}  # path -> (lang, forms)
+        self.compiled: dict[str, CompiledModule] = {}
+        self._compiling: list[str] = []
+        #: values provided by Python-implemented modules, preloaded into
+        #: every namespace: binding key -> value
+        self.py_values: dict[Any, Any] = {}
+        self.kernel_exports: dict[str, Export] = _kernel_exports()
+
+    # -- registration ------------------------------------------------------
+
+    def register_language(self, lang: Language) -> Language:
+        self.languages[lang.name] = lang
+        return lang
+
+    def register_py_value(self, module_path: str, name: str, value: Any) -> ModuleBinding:
+        binding = ModuleBinding(module_path, Symbol(name))
+        self.py_values[binding.key()] = value
+        return binding
+
+    def register_module_source(self, path: str, text: str) -> None:
+        from repro.reader.lang_line import read_module_source
+
+        lang, forms = read_module_source(text, path)
+        self.register_module_forms(path, lang, forms)
+
+    def register_module_forms(self, path: str, lang: str, forms: list[Any]) -> None:
+        if path in self.compiled:
+            del self.compiled[path]
+        self.sources[path] = (lang, forms)
+
+    def register_file(self, filename: str) -> str:
+        import os
+
+        path = os.path.abspath(filename)
+        with open(filename, "r", encoding="utf-8") as f:
+            self.register_module_source(path, f.read())
+        return path
+
+    # -- lookup / compilation ------------------------------------------------
+
+    def language(self, name: str) -> Language:
+        lang = self.languages.get(name)
+        if lang is None:
+            raise ModuleError(f"unknown language: {name}")
+        return lang
+
+    def get_compiled(self, path: str) -> CompiledModule:
+        cached = self.compiled.get(path)
+        if cached is not None:
+            return cached
+        if path in self._compiling:
+            cycle = " -> ".join(self._compiling + [path])
+            raise ModuleError(f"module dependency cycle: {cycle}")
+        source = self.sources.get(path)
+        if source is None:
+            # maybe it's an on-disk file not yet registered
+            import os
+
+            if os.path.exists(path):
+                self.register_file(path)
+                source = self.sources[path]
+            else:
+                raise ModuleError(f"module not found: {path}")
+        lang_name, forms = source
+        from repro.modules.compiler import compile_module
+
+        self._compiling.append(path)
+        try:
+            compiled = compile_module(self, path, lang_name, forms)
+        finally:
+            self._compiling.pop()
+        self.compiled[path] = compiled
+        return compiled
+
+    def resolve_module_path(self, spec: str, relative_to: Optional[str] = None) -> str:
+        """Resolve a require spec to a registry path."""
+        if spec in self.sources or spec in self.compiled:
+            return spec
+        if relative_to is not None:
+            import os
+
+            base = os.path.dirname(relative_to)
+            candidate = os.path.normpath(os.path.join(base, spec))
+            if candidate in self.sources or os.path.exists(candidate):
+                return candidate
+        import os
+
+        if os.path.exists(spec):
+            return os.path.abspath(spec)
+        raise ModuleError(f"cannot resolve module: {spec}")
+
+    # -- namespaces ---------------------------------------------------------
+
+    def _prefill(self, ns: "Namespace") -> "Namespace":
+        for name, prim in PRIMITIVES.items():
+            ns.cells[("module", KERNEL_PATH, name, 0)] = [prim]
+        for key, value in self.py_values.items():
+            ns.cells[key] = [value]
+        ns.instantiated[KERNEL_PATH] = True
+        return ns
+
+    def make_runtime_namespace(self) -> "Namespace":
+        from repro.core.namespace import Namespace
+
+        return self._prefill(Namespace("runtime"))
+
+    def make_phase1_namespace(self, module_path: str) -> "Namespace":
+        from repro.core.namespace import Namespace
+
+        return self._prefill(Namespace(f"compile:{module_path}"))

@@ -1,0 +1,9 @@
+"""The reader: source text -> syntax objects."""
+
+from repro.reader.lang_line import read_module_source, split_lang_line
+from repro.reader.reader import Reader, read_string_all, read_string_one
+
+__all__ = [
+    "Reader", "read_string_all", "read_string_one",
+    "read_module_source", "split_lang_line",
+]

@@ -1,0 +1,41 @@
+"""Parsing of ``#lang`` lines (§2.3: "Every module specifies ... the language
+it is written in" as the first line of the module)."""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.errors import ReaderError
+from repro.reader.reader import read_string_all
+from repro.syn.syntax import Syntax
+
+_LANG_RE = re.compile(r"^#lang[ \t]+([A-Za-z0-9/_+.-]+)[ \t]*(\r?\n|$)")
+
+
+def split_lang_line(text: str, source: str = "<string>") -> tuple[Optional[str], str]:
+    """Split off a leading ``#lang`` line. Returns (language name or None, body).
+
+    Leading whitespace and comment lines before ``#lang`` are permitted.
+    """
+    offset = 0
+    lines = text.split("\n")
+    for i, line in enumerate(lines):
+        stripped = line.strip()
+        if stripped == "" or stripped.startswith(";"):
+            offset += len(line) + 1
+            continue
+        m = _LANG_RE.match(line.lstrip())
+        if m:
+            rest = "\n" * (i + 1) + "\n".join(lines[i + 1 :])
+            return m.group(1), rest
+        return None, text
+    return None, text
+
+
+def read_module_source(text: str, source: str = "<string>") -> tuple[str, list[Syntax]]:
+    """Read a ``#lang`` module file: returns (language name, body forms)."""
+    lang, body = split_lang_line(text, source)
+    if lang is None:
+        raise ReaderError(f"{source}: module must start with a #lang line")
+    return lang, read_string_all(body, source)

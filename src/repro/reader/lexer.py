@@ -1,0 +1,244 @@
+"""Tokenizer for the object language's lexical syntax."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.errors import ReaderError
+from repro.syn.srcloc import SrcLoc
+
+# Token kinds
+LPAREN = "lparen"
+RPAREN = "rparen"
+VEC_OPEN = "vec-open"
+QUOTE = "quote"
+QUASIQUOTE = "quasiquote"
+UNQUOTE = "unquote"
+UNQUOTE_SPLICING = "unquote-splicing"
+SYNTAX_QUOTE = "quote-syntax"
+QUASISYNTAX = "quasisyntax"
+UNSYNTAX = "unsyntax"
+UNSYNTAX_SPLICING = "unsyntax-splicing"
+DATUM_COMMENT = "datum-comment"
+ATOM = "atom"  # symbol/number/boolean — classified by the reader
+STRING = "string"
+CHAR = "char"
+KEYWORD = "keyword"
+DOT = "dot"
+EOF_TOK = "eof"
+
+_DELIMITERS = set("()[]\";'`, \t\n\r")
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    kind: str
+    text: str
+    srcloc: SrcLoc
+    paren: str = ""  # "(" or "[" for paren tokens
+
+
+class Lexer:
+    def __init__(self, text: str, source: str = "<string>") -> None:
+        self.text = text
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.col = 0
+
+    def _loc(self, span: int = 1) -> SrcLoc:
+        return SrcLoc(self.source, self.line, self.col, self.pos, span)
+
+    def _error(self, message: str) -> ReaderError:
+        return ReaderError(message, self._loc())
+
+    def _peek(self, offset: int = 0) -> str:
+        i = self.pos + offset
+        return self.text[i] if i < len(self.text) else ""
+
+    def _advance(self, n: int = 1) -> str:
+        out = self.text[self.pos : self.pos + n]
+        for ch in out:
+            if ch == "\n":
+                self.line += 1
+                self.col = 0
+            else:
+                self.col += 1
+        self.pos += n
+        return out
+
+    def _skip_atmosphere(self) -> None:
+        while self.pos < len(self.text):
+            ch = self._peek()
+            if ch in " \t\n\r\f":
+                self._advance()
+            elif ch == ";":
+                while self.pos < len(self.text) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "#" and self._peek(1) == "|":
+                self._skip_block_comment()
+            else:
+                return
+
+    def _skip_block_comment(self) -> None:
+        start = self._loc()
+        self._advance(2)
+        depth = 1
+        while depth > 0:
+            if self.pos >= len(self.text):
+                raise ReaderError("unterminated block comment", start)
+            if self._peek() == "#" and self._peek(1) == "|":
+                self._advance(2)
+                depth += 1
+            elif self._peek() == "|" and self._peek(1) == "#":
+                self._advance(2)
+                depth -= 1
+            else:
+                self._advance()
+
+    def tokens(self) -> Iterator[Token]:
+        while True:
+            tok = self.next_token()
+            yield tok
+            if tok.kind == EOF_TOK:
+                return
+
+    def next_token(self) -> Token:
+        self._skip_atmosphere()
+        if self.pos >= len(self.text):
+            return Token(EOF_TOK, "", self._loc(0))
+        loc = self._loc()
+        ch = self._peek()
+        if ch in "([":
+            self._advance()
+            return Token(LPAREN, ch, loc, paren=ch)
+        if ch in ")]":
+            self._advance()
+            return Token(RPAREN, ch, loc, paren=ch)
+        if ch == "'":
+            self._advance()
+            return Token(QUOTE, "'", loc)
+        if ch == "`":
+            self._advance()
+            return Token(QUASIQUOTE, "`", loc)
+        if ch == ",":
+            self._advance()
+            if self._peek() == "@":
+                self._advance()
+                return Token(UNQUOTE_SPLICING, ",@", loc)
+            return Token(UNQUOTE, ",", loc)
+        if ch == '"':
+            return self._string(loc)
+        if ch == "#":
+            return self._hash(loc)
+        return self._atom(loc)
+
+    def _string(self, loc: SrcLoc) -> Token:
+        self._advance()  # opening quote
+        out: list[str] = []
+        while True:
+            if self.pos >= len(self.text):
+                raise ReaderError("unterminated string", loc)
+            ch = self._advance()
+            if ch == '"':
+                break
+            if ch == "\\":
+                esc = self._advance()
+                if esc == "n":
+                    out.append("\n")
+                elif esc == "t":
+                    out.append("\t")
+                elif esc == "r":
+                    out.append("\r")
+                elif esc == "0":
+                    out.append("\0")
+                elif esc == "\\":
+                    out.append("\\")
+                elif esc == '"':
+                    out.append('"')
+                elif esc == "x":
+                    hex_digits = []
+                    while self._peek() not in (";", ""):
+                        hex_digits.append(self._advance())
+                    if self._peek() == ";":
+                        self._advance()
+                    out.append(chr(int("".join(hex_digits), 16)))
+                else:
+                    raise ReaderError(f"unknown string escape: \\{esc}", loc)
+            else:
+                out.append(ch)
+        return Token(STRING, "".join(out), loc)
+
+    _CHAR_NAMES = {
+        "space": " ",
+        "newline": "\n",
+        "tab": "\t",
+        "return": "\r",
+        "nul": "\0",
+        "null": "\0",
+        "linefeed": "\n",
+    }
+
+    def _hash(self, loc: SrcLoc) -> Token:
+        nxt = self._peek(1)
+        if nxt == "(":
+            self._advance(2)
+            return Token(VEC_OPEN, "#(", loc)
+        if nxt == ";":
+            self._advance(2)
+            return Token(DATUM_COMMENT, "#;", loc)
+        if nxt == "'":
+            self._advance(2)
+            return Token(SYNTAX_QUOTE, "#'", loc)
+        if nxt == "`":
+            self._advance(2)
+            return Token(QUASISYNTAX, "#`", loc)
+        if nxt == ",":
+            self._advance(2)
+            if self._peek() == "@":
+                self._advance()
+                return Token(UNSYNTAX_SPLICING, "#,@", loc)
+            return Token(UNSYNTAX, "#,", loc)
+        if nxt == "\\":
+            self._advance(2)
+            # a named char or a single char
+            name = []
+            while self._peek() and self._peek() not in _DELIMITERS:
+                name.append(self._advance())
+            if not name:
+                if not self._peek():
+                    raise ReaderError("bad character literal", loc)
+                name.append(self._advance())
+            text = "".join(name)
+            if len(text) == 1:
+                return Token(CHAR, text, loc)
+            if text in self._CHAR_NAMES:
+                return Token(CHAR, self._CHAR_NAMES[text], loc)
+            if text.startswith("u") or text.startswith("x"):
+                try:
+                    return Token(CHAR, chr(int(text[1:], 16)), loc)
+                except ValueError:
+                    pass
+            raise ReaderError(f"unknown character literal: #\\{text}", loc)
+        if nxt == ":":
+            self._advance(2)
+            name = []
+            while self._peek() and self._peek() not in _DELIMITERS:
+                name.append(self._advance())
+            return Token(KEYWORD, "".join(name), loc)
+        # #t / #f / #true / #false / #% symbols
+        return self._atom(loc)
+
+    def _atom(self, loc: SrcLoc) -> Token:
+        out = []
+        if self._peek() == "#":
+            out.append(self._advance())  # allow leading '#' (for #t, #%app, ...)
+        while self._peek() and self._peek() not in _DELIMITERS:
+            out.append(self._advance())
+        text = "".join(out)
+        if not text:
+            raise ReaderError(f"unexpected character: {self._peek()!r}", loc)
+        if text == ".":
+            return Token(DOT, ".", loc)
+        return Token(ATOM, text, loc)

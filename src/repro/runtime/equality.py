@@ -1,0 +1,71 @@
+"""``eq?``, ``eqv?``, and ``equal?`` for object-language values."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Any
+
+from repro.runtime import values as v
+
+
+def eq(a: Any, b: Any) -> bool:
+    """Pointer identity, with the small-value exceptions Racket guarantees."""
+    if a is b:
+        return True
+    # Python may or may not intern small ints/strings; make the object-language
+    # behaviour deterministic: eq? on equal fixnums, chars and keywords is #t.
+    if isinstance(a, bool) or isinstance(b, bool):
+        return a is b
+    if isinstance(a, int) and isinstance(b, int):
+        return a == b
+    if isinstance(a, v.Char) and isinstance(b, v.Char):
+        return a.value == b.value
+    return False
+
+
+def eqv(a: Any, b: Any) -> bool:
+    """``eq?`` plus numeric equality on same-exactness numbers."""
+    if eq(a, b):
+        return True
+    if isinstance(a, bool) or isinstance(b, bool):
+        return False
+    if isinstance(a, float) and isinstance(b, float):
+        return a == b or (a != a and b != b)  # +nan.0 is eqv? to itself
+    if isinstance(a, Fraction) and isinstance(b, Fraction):
+        return a == b
+    if isinstance(a, complex) and isinstance(b, complex):
+        return a == b
+    if isinstance(a, str) and isinstance(b, str):
+        return a is b
+    return False
+
+
+def equal(a: Any, b: Any) -> bool:
+    """Structural equality on pairs, vectors, strings, and boxes."""
+    if eqv(a, b):
+        return True
+    if isinstance(a, str) and isinstance(b, str):
+        return a == b
+    if isinstance(a, v.Pair) and isinstance(b, v.Pair):
+        while isinstance(a, v.Pair) and isinstance(b, v.Pair):
+            if not equal(a.car, b.car):
+                return False
+            a = a.cdr
+            b = b.cdr
+        return equal(a, b)
+    if isinstance(a, v.MVector) and isinstance(b, v.MVector):
+        if len(a.items) != len(b.items):
+            return False
+        return all(equal(x, y) for x, y in zip(a.items, b.items))
+    if isinstance(a, v.Box) and isinstance(b, v.Box):
+        return equal(a.value, b.value)
+    from repro.runtime.structs import StructInstance
+
+    if (
+        isinstance(a, StructInstance)
+        and isinstance(b, StructInstance)
+        and a.descriptor is b.descriptor
+        and a.descriptor.transparent
+    ):
+        return all(equal(x, y) for x, y in zip(a.fields, b.fields))
+    return False

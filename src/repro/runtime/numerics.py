@@ -1,0 +1,605 @@
+"""The numeric tower: generic dispatching operations and unsafe specialized ones.
+
+Representation:
+
+- exact integers       -> Python ``int`` (``bool`` is *not* a number)
+- exact rationals      -> ``fractions.Fraction`` (never with denominator 1;
+                          those normalize back to ``int``)
+- flonums              -> Python ``float``
+- float-complexes      -> Python ``complex``
+
+Generic operations (``generic_add`` etc.) dispatch on operand types, applying
+the usual contagion rules (exactness is lost when a flonum is involved;
+anything touching a complex becomes complex). Every generic call bumps
+``STATS.generic_dispatches`` — this is the cost the paper's optimizer removes
+by rewriting to the ``unsafe_fl*``/``unsafe_fx*`` operations below, which
+perform no dispatch and no tag checks (undefined behaviour on wrong types,
+exactly like Racket's ``unsafe-fl+``).
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Any
+
+from repro.errors import WrongTypeError
+from repro.runtime.stats import STATS
+
+Real = (int, Fraction, float)
+Number = (int, Fraction, float, complex)
+
+
+def is_number(x: Any) -> bool:
+    return isinstance(x, Number) and not isinstance(x, bool)
+
+
+def is_real(x: Any) -> bool:
+    return isinstance(x, Real) and not isinstance(x, bool)
+
+
+def is_exact_integer(x: Any) -> bool:
+    return isinstance(x, int) and not isinstance(x, bool)
+
+
+def is_exact_rational(x: Any) -> bool:
+    return (isinstance(x, int) and not isinstance(x, bool)) or isinstance(x, Fraction)
+
+
+def is_flonum(x: Any) -> bool:
+    return isinstance(x, float)
+
+
+def is_float_complex(x: Any) -> bool:
+    return isinstance(x, complex) and not isinstance(x, (float, int))
+
+
+def normalize(x: Any) -> Any:
+    """Collapse ``Fraction`` with denominator 1 to ``int``."""
+    if isinstance(x, Fraction) and x.denominator == 1:
+        return x.numerator
+    return x
+
+
+def _check_number(who: str, x: Any) -> None:
+    if not is_number(x):
+        raise WrongTypeError(who, "number?", x)
+
+
+def _check_real(who: str, x: Any) -> None:
+    if not is_real(x):
+        raise WrongTypeError(who, "real?", x)
+
+
+# --- generic arithmetic ------------------------------------------------------
+
+
+def generic_add(a: Any, b: Any) -> Any:
+    STATS.generic_dispatches += 1
+    _check_number("+", a)
+    _check_number("+", b)
+    return normalize(a + b)
+
+
+def generic_sub(a: Any, b: Any) -> Any:
+    STATS.generic_dispatches += 1
+    _check_number("-", a)
+    _check_number("-", b)
+    return normalize(a - b)
+
+
+def generic_mul(a: Any, b: Any) -> Any:
+    STATS.generic_dispatches += 1
+    _check_number("*", a)
+    _check_number("*", b)
+    return normalize(a * b)
+
+
+def generic_div(a: Any, b: Any) -> Any:
+    STATS.generic_dispatches += 1
+    _check_number("/", a)
+    _check_number("/", b)
+    if isinstance(a, int) and isinstance(b, int):
+        if b == 0:
+            raise WrongTypeError("/", "non-zero number", b)
+        if a % b == 0:
+            return a // b
+        return Fraction(a, b)
+    if isinstance(a, (int, Fraction)) and isinstance(b, (int, Fraction)):
+        if b == 0:
+            raise WrongTypeError("/", "non-zero number", b)
+        return normalize(Fraction(a) / Fraction(b))
+    if isinstance(b, complex) and not isinstance(b, float):
+        return a / b
+    if float(abs(b)) == 0.0 and not isinstance(a, complex):
+        # flonum division by zero yields infinities, like Racket
+        if isinstance(a, complex):
+            return a / b  # pragma: no cover - complex/0.0 raises below
+        af = float(a)
+        if af == 0.0:
+            return math.nan
+        return math.copysign(math.inf, af) * math.copysign(1.0, float(b))
+    return a / b
+
+
+def generic_neg(a: Any) -> Any:
+    STATS.generic_dispatches += 1
+    _check_number("-", a)
+    return -a
+
+
+def generic_quotient(a: Any, b: Any) -> Any:
+    STATS.generic_dispatches += 1
+    if not is_exact_integer(a):
+        raise WrongTypeError("quotient", "integer?", a)
+    if not is_exact_integer(b) or b == 0:
+        raise WrongTypeError("quotient", "non-zero integer", b)
+    q = abs(a) // abs(b)
+    if (a < 0) != (b < 0):
+        q = -q
+    return q
+
+
+def generic_remainder(a: Any, b: Any) -> Any:
+    STATS.generic_dispatches += 1
+    if not is_exact_integer(a):
+        raise WrongTypeError("remainder", "integer?", a)
+    if not is_exact_integer(b) or b == 0:
+        raise WrongTypeError("remainder", "non-zero integer", b)
+    return a - generic_quotient(a, b) * b
+
+
+def generic_modulo(a: Any, b: Any) -> Any:
+    STATS.generic_dispatches += 1
+    if not is_exact_integer(a):
+        raise WrongTypeError("modulo", "integer?", a)
+    if not is_exact_integer(b) or b == 0:
+        raise WrongTypeError("modulo", "non-zero integer", b)
+    return a % b
+
+
+def _cmp_args(who: str, a: Any, b: Any) -> None:
+    STATS.generic_dispatches += 1
+    _check_real(who, a)
+    _check_real(who, b)
+
+
+def generic_lt(a: Any, b: Any) -> bool:
+    _cmp_args("<", a, b)
+    return a < b
+
+
+def generic_le(a: Any, b: Any) -> bool:
+    _cmp_args("<=", a, b)
+    return a <= b
+
+
+def generic_gt(a: Any, b: Any) -> bool:
+    _cmp_args(">", a, b)
+    return a > b
+
+
+def generic_ge(a: Any, b: Any) -> bool:
+    _cmp_args(">=", a, b)
+    return a >= b
+
+
+def generic_num_eq(a: Any, b: Any) -> bool:
+    STATS.generic_dispatches += 1
+    _check_number("=", a)
+    _check_number("=", b)
+    return a == b
+
+
+def generic_abs(a: Any) -> Any:
+    STATS.generic_dispatches += 1
+    _check_real("abs", a)
+    return normalize(abs(a))
+
+
+def generic_min(a: Any, b: Any) -> Any:
+    _cmp_args("min", a, b)
+    result = a if a <= b else b
+    if isinstance(a, float) or isinstance(b, float):
+        return float(result)
+    return result
+
+
+def generic_max(a: Any, b: Any) -> Any:
+    _cmp_args("max", a, b)
+    result = a if a >= b else b
+    if isinstance(a, float) or isinstance(b, float):
+        return float(result)
+    return result
+
+
+def generic_sqrt(a: Any) -> Any:
+    STATS.generic_dispatches += 1
+    _check_number("sqrt", a)
+    if isinstance(a, complex) and not isinstance(a, float):
+        import cmath
+
+        return cmath.sqrt(a)
+    if isinstance(a, (int, Fraction)):
+        if a >= 0:
+            if isinstance(a, int):
+                root = math.isqrt(a)
+                if root * root == a:
+                    return root
+            else:
+                num_root = math.isqrt(a.numerator)
+                den_root = math.isqrt(a.denominator)
+                if num_root * num_root == a.numerator and den_root * den_root == a.denominator:
+                    return normalize(Fraction(num_root, den_root))
+            return math.sqrt(a)
+        # negative exact -> exact-ish complex, matching Racket's (sqrt -4) = 2i
+        pos = generic_sqrt(-a)
+        return complex(0.0, float(pos))
+    if a < 0:
+        return complex(0.0, math.sqrt(-a))
+    return math.sqrt(a)
+
+
+def generic_expt(a: Any, b: Any) -> Any:
+    STATS.generic_dispatches += 1
+    _check_number("expt", a)
+    _check_number("expt", b)
+    if is_exact_rational(a) and is_exact_integer(b):
+        if b >= 0:
+            return normalize(Fraction(a) ** b if isinstance(a, Fraction) else a**b)
+        if a == 0:
+            raise WrongTypeError("expt", "non-zero base for negative exponent", a)
+        return normalize(Fraction(a) ** b)
+    return a**b
+
+
+def generic_exp(a: Any) -> Any:
+    STATS.generic_dispatches += 1
+    _check_number("exp", a)
+    if isinstance(a, complex) and not isinstance(a, float):
+        import cmath
+
+        return cmath.exp(a)
+    return math.exp(a)
+
+
+def generic_log(a: Any) -> Any:
+    STATS.generic_dispatches += 1
+    _check_number("log", a)
+    if isinstance(a, complex) and not isinstance(a, float):
+        import cmath
+
+        return cmath.log(a)
+    if a < 0:
+        import cmath
+
+        return cmath.log(complex(a))
+    if a == 0:
+        if isinstance(a, float):
+            return -math.inf
+        raise WrongTypeError("log", "non-zero number", a)
+    return math.log(a)
+
+
+def _real_trig(name: str, fn: Any) -> Any:
+    def op(a: Any) -> Any:
+        STATS.generic_dispatches += 1
+        _check_real(name, a)
+        return fn(a)
+
+    op.__name__ = f"generic_{name}"
+    return op
+
+
+generic_sin = _real_trig("sin", math.sin)
+generic_cos = _real_trig("cos", math.cos)
+generic_tan = _real_trig("tan", math.tan)
+generic_asin = _real_trig("asin", math.asin)
+generic_acos = _real_trig("acos", math.acos)
+
+
+def generic_atan(a: Any, b: Any = None) -> Any:
+    STATS.generic_dispatches += 1
+    _check_real("atan", a)
+    if b is None:
+        return math.atan(a)
+    _check_real("atan", b)
+    return math.atan2(a, b)
+
+
+def generic_floor(a: Any) -> Any:
+    STATS.generic_dispatches += 1
+    _check_real("floor", a)
+    if isinstance(a, float):
+        return float(math.floor(a))
+    return math.floor(a)
+
+
+def generic_ceiling(a: Any) -> Any:
+    STATS.generic_dispatches += 1
+    _check_real("ceiling", a)
+    if isinstance(a, float):
+        return float(math.ceil(a))
+    return math.ceil(a)
+
+
+def generic_truncate(a: Any) -> Any:
+    STATS.generic_dispatches += 1
+    _check_real("truncate", a)
+    if isinstance(a, float):
+        return float(math.trunc(a))
+    return math.trunc(a)
+
+
+def generic_round(a: Any) -> Any:
+    STATS.generic_dispatches += 1
+    _check_real("round", a)
+    if isinstance(a, float):
+        return float(round(a))
+    return round(a)  # banker's rounding, same as Racket
+
+
+def generic_magnitude(a: Any) -> Any:
+    STATS.generic_dispatches += 1
+    _check_number("magnitude", a)
+    if isinstance(a, complex) and not isinstance(a, float):
+        return abs(a)
+    return normalize(abs(a))
+
+
+def generic_real_part(a: Any) -> Any:
+    STATS.generic_dispatches += 1
+    _check_number("real-part", a)
+    if isinstance(a, complex) and not isinstance(a, float):
+        return a.real
+    return a
+
+
+def generic_imag_part(a: Any) -> Any:
+    STATS.generic_dispatches += 1
+    _check_number("imag-part", a)
+    if isinstance(a, complex) and not isinstance(a, float):
+        return a.imag
+    return 0 if not isinstance(a, float) else 0.0
+
+
+def generic_make_rectangular(re: Any, im: Any) -> Any:
+    STATS.generic_dispatches += 1
+    _check_real("make-rectangular", re)
+    _check_real("make-rectangular", im)
+    if im == 0 and not isinstance(im, float):
+        return re
+    return complex(float(re), float(im))
+
+
+def generic_exact_to_inexact(a: Any) -> Any:
+    STATS.generic_dispatches += 1
+    _check_number("exact->inexact", a)
+    if isinstance(a, complex) and not isinstance(a, float):
+        return a
+    return float(a)
+
+
+def generic_inexact_to_exact(a: Any) -> Any:
+    STATS.generic_dispatches += 1
+    _check_real("inexact->exact", a)
+    if isinstance(a, float):
+        return normalize(Fraction(a))
+    return a
+
+
+def generic_number_to_string(a: Any) -> str:
+    _check_number("number->string", a)
+    from repro.runtime.printing import write_value
+
+    return write_value(a)
+
+
+def generic_gcd(a: Any, b: Any) -> Any:
+    STATS.generic_dispatches += 1
+    if not is_exact_integer(a):
+        raise WrongTypeError("gcd", "integer?", a)
+    if not is_exact_integer(b):
+        raise WrongTypeError("gcd", "integer?", b)
+    return math.gcd(a, b)
+
+
+def generic_numerator(a: Any) -> Any:
+    STATS.generic_dispatches += 1
+    if isinstance(a, Fraction):
+        return a.numerator
+    if is_exact_integer(a):
+        return a
+    raise WrongTypeError("numerator", "exact rational", a)
+
+
+def generic_denominator(a: Any) -> Any:
+    STATS.generic_dispatches += 1
+    if isinstance(a, Fraction):
+        return a.denominator
+    if is_exact_integer(a):
+        return 1
+    raise WrongTypeError("denominator", "exact rational", a)
+
+
+# --- unsafe specialized operations ------------------------------------------
+#
+# These mirror Racket's unsafe-fl / unsafe-fx / unsafe vector ops: no tag
+# checks, no dispatch. Behaviour is undefined (a raw Python exception at best)
+# when applied to the wrong types — the typed optimizer only emits them when
+# the typechecker has proved the operand types.
+
+
+def unsafe_fl_add(a: float, b: float) -> float:
+    STATS.unsafe_ops += 1
+    return a + b
+
+
+def unsafe_fl_sub(a: float, b: float) -> float:
+    STATS.unsafe_ops += 1
+    return a - b
+
+
+def unsafe_fl_mul(a: float, b: float) -> float:
+    STATS.unsafe_ops += 1
+    return a * b
+
+
+def unsafe_fl_div(a: float, b: float) -> float:
+    STATS.unsafe_ops += 1
+    if b == 0.0:
+        if a == 0.0:
+            return math.nan
+        return math.copysign(math.inf, a) * math.copysign(1.0, b)
+    return a / b
+
+
+def unsafe_fl_lt(a: float, b: float) -> bool:
+    STATS.unsafe_ops += 1
+    return a < b
+
+
+def unsafe_fl_le(a: float, b: float) -> bool:
+    STATS.unsafe_ops += 1
+    return a <= b
+
+
+def unsafe_fl_gt(a: float, b: float) -> bool:
+    STATS.unsafe_ops += 1
+    return a > b
+
+
+def unsafe_fl_ge(a: float, b: float) -> bool:
+    STATS.unsafe_ops += 1
+    return a >= b
+
+
+def unsafe_fl_eq(a: float, b: float) -> bool:
+    STATS.unsafe_ops += 1
+    return a == b
+
+
+def unsafe_fl_abs(a: float) -> float:
+    STATS.unsafe_ops += 1
+    return abs(a)
+
+
+def unsafe_fl_min(a: float, b: float) -> float:
+    STATS.unsafe_ops += 1
+    return a if a <= b else b
+
+
+def unsafe_fl_max(a: float, b: float) -> float:
+    STATS.unsafe_ops += 1
+    return a if a >= b else b
+
+
+def unsafe_fl_neg(a: float) -> float:
+    STATS.unsafe_ops += 1
+    return -a
+
+
+def unsafe_fl_sqrt(a: float) -> float:
+    STATS.unsafe_ops += 1
+    return math.sqrt(a)
+
+
+def unsafe_fl_sin(a: float) -> float:
+    STATS.unsafe_ops += 1
+    return math.sin(a)
+
+
+def unsafe_fl_cos(a: float) -> float:
+    STATS.unsafe_ops += 1
+    return math.cos(a)
+
+
+def unsafe_fl_floor(a: float) -> float:
+    STATS.unsafe_ops += 1
+    return float(math.floor(a))
+
+
+def unsafe_fx_add(a: int, b: int) -> int:
+    STATS.unsafe_ops += 1
+    return a + b
+
+
+def unsafe_fx_sub(a: int, b: int) -> int:
+    STATS.unsafe_ops += 1
+    return a - b
+
+
+def unsafe_fx_mul(a: int, b: int) -> int:
+    STATS.unsafe_ops += 1
+    return a * b
+
+
+def unsafe_fx_lt(a: int, b: int) -> bool:
+    STATS.unsafe_ops += 1
+    return a < b
+
+
+def unsafe_fx_le(a: int, b: int) -> bool:
+    STATS.unsafe_ops += 1
+    return a <= b
+
+
+def unsafe_fx_gt(a: int, b: int) -> bool:
+    STATS.unsafe_ops += 1
+    return a > b
+
+
+def unsafe_fx_ge(a: int, b: int) -> bool:
+    STATS.unsafe_ops += 1
+    return a >= b
+
+
+def unsafe_fx_eq(a: int, b: int) -> bool:
+    STATS.unsafe_ops += 1
+    return a == b
+
+
+def unsafe_fx_quotient(a: int, b: int) -> int:
+    STATS.unsafe_ops += 1
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def unsafe_fx_remainder(a: int, b: int) -> int:
+    STATS.unsafe_ops += 1
+    return a - unsafe_fx_quotient(a, b) * b
+
+
+def unsafe_fc_add(a: complex, b: complex) -> complex:
+    STATS.unsafe_ops += 1
+    return a + b
+
+
+def unsafe_fc_sub(a: complex, b: complex) -> complex:
+    STATS.unsafe_ops += 1
+    return a - b
+
+
+def unsafe_fc_mul(a: complex, b: complex) -> complex:
+    STATS.unsafe_ops += 1
+    return a * b
+
+
+def unsafe_fc_div(a: complex, b: complex) -> complex:
+    STATS.unsafe_ops += 1
+    return a / b
+
+
+def unsafe_fc_magnitude(a: complex) -> float:
+    STATS.unsafe_ops += 1
+    return abs(a)
+
+
+def unsafe_fc_real(a: complex) -> float:
+    STATS.unsafe_ops += 1
+    return a.real
+
+
+def unsafe_fc_imag(a: complex) -> float:
+    STATS.unsafe_ops += 1
+    return a.imag

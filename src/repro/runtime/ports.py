@@ -1,0 +1,59 @@
+"""Output ports and output capture.
+
+The object language's ``display``/``printf`` write to the *current output
+port*, a dynamically scoped stack so tests and the benchmark harness can
+capture program output.
+"""
+
+from __future__ import annotations
+
+import sys
+from contextlib import contextmanager
+from io import StringIO
+from typing import Iterator
+
+
+class OutputPort:
+    def __init__(self, name: str = "port") -> None:
+        self.name = name
+
+    def write(self, text: str) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class StdoutPort(OutputPort):
+    def __init__(self) -> None:
+        super().__init__("stdout")
+
+    def write(self, text: str) -> None:
+        sys.stdout.write(text)
+
+
+class StringPort(OutputPort):
+    def __init__(self) -> None:
+        super().__init__("string")
+        self.buffer = StringIO()
+
+    def write(self, text: str) -> None:
+        self.buffer.write(text)
+
+    def contents(self) -> str:
+        return self.buffer.getvalue()
+
+
+_PORT_STACK: list[OutputPort] = [StdoutPort()]
+
+
+def current_output_port() -> OutputPort:
+    return _PORT_STACK[-1]
+
+
+@contextmanager
+def capture_output() -> Iterator[StringPort]:
+    """Redirect object-language output into a string port."""
+    port = StringPort()
+    _PORT_STACK.append(port)
+    try:
+        yield port
+    finally:
+        _PORT_STACK.pop()

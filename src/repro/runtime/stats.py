@@ -1,0 +1,46 @@
+"""Instrumentation counters for the runtime.
+
+The paper's optimizer (§7) communicates with the backend by emitting unsafe
+type-specialized primitives that skip the run-time dispatch of generic
+operations. To make the optimizer's effect observable *deterministically*
+(independent of wall-clock noise), the runtime counts:
+
+- ``generic_dispatches`` — calls to generic numeric operations that had to
+  inspect their operands' runtime types;
+- ``tag_checks`` — runtime type tests performed by safe primitives such as
+  ``car`` or ``vector-ref``;
+- ``unsafe_ops`` — calls to unsafe type-specialized primitives;
+- ``contract_checks`` — dynamic contract checks at typed/untyped boundaries.
+
+Benchmarks report these alongside wall-clock time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Stats:
+    generic_dispatches: int = 0
+    tag_checks: int = 0
+    unsafe_ops: int = 0
+    contract_checks: int = 0
+
+    def reset(self) -> None:
+        self.generic_dispatches = 0
+        self.tag_checks = 0
+        self.unsafe_ops = 0
+        self.contract_checks = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "generic_dispatches": self.generic_dispatches,
+            "tag_checks": self.tag_checks,
+            "unsafe_ops": self.unsafe_ops,
+            "contract_checks": self.contract_checks,
+        }
+
+
+#: Global counter instance shared by the whole runtime.
+STATS = Stats()

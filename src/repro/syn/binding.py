@@ -1,0 +1,158 @@
+"""Bindings and the global binding table.
+
+A *binding* is what an identifier resolves to. The table maps
+``(symbol, phase)`` to a list of ``(scope set, binding)`` entries. Resolution
+of a reference finds all entries whose scope set is a subset of the
+reference's scopes and picks the one with the largest scope set; if no single
+candidate's scopes are a superset of every other candidate's, the reference is
+ambiguous (a hygiene error).
+
+Two binding flavours exist:
+
+- :class:`LocalBinding` — introduced by ``#%plain-lambda``, ``let-values``,
+  etc. Identity-based; fully-expanded programs refer to locals through these
+  unique objects, which is why the paper's typechecker can use an
+  identifier-keyed table "without having to reimplement variable renaming or
+  environments" (§4.3).
+- :class:`ModuleBinding` — a module-level definition or import. Keyed by
+  ``(module path, symbol, phase)`` so the key is *stable across separate
+  compilations* — the property §5 relies on to persist type environments.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.errors import AmbiguousBindingError, UnboundIdentifierError
+from repro.runtime.values import Symbol
+from repro.syn.scopes import ScopeSet
+from repro.syn.syntax import Syntax
+
+
+class Binding:
+    __slots__ = ()
+
+    def key(self) -> Any:
+        raise NotImplementedError
+
+
+class LocalBinding(Binding):
+    __slots__ = ("name", "uid")
+    _counter = 0
+
+    def __init__(self, name: Symbol) -> None:
+        LocalBinding._counter += 1
+        self.name = name
+        self.uid = LocalBinding._counter
+
+    def key(self) -> Any:
+        return ("local", self.uid)
+
+    def __repr__(self) -> str:
+        return f"#<local:{self.name}.{self.uid}>"
+
+
+class ModuleBinding(Binding):
+    __slots__ = ("module_path", "name", "phase")
+
+    def __init__(self, module_path: str, name: Symbol, phase: int = 0) -> None:
+        self.module_path = module_path
+        self.name = name
+        self.phase = phase
+
+    def key(self) -> Any:
+        return ("module", self.module_path, self.name.name, self.phase)
+
+    def __repr__(self) -> str:
+        return f"#<module-binding:{self.module_path}:{self.name}>"
+
+    def __eq__(self, other: Any) -> bool:
+        return isinstance(other, ModuleBinding) and self.key() == other.key()
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+
+class CoreFormBinding(Binding):
+    """A binding for one of the ~20 core syntactic forms of fig. 1."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def key(self) -> Any:
+        return ("core", self.name)
+
+    def __repr__(self) -> str:
+        return f"#<core:{self.name}>"
+
+
+class BindingTable:
+    """The global (symbol, phase) -> [(scope set, binding)] table."""
+
+    def __init__(self) -> None:
+        self._entries: dict[tuple[Symbol, int], list[tuple[ScopeSet, Binding]]] = {}
+
+    def add(self, name: Symbol, scopes: ScopeSet, binding: Binding, phase: int = 0) -> None:
+        self._entries.setdefault((name, phase), []).append((scopes, binding))
+
+    def bind_identifier(self, ident: Syntax, binding: Binding, phase: int = 0) -> None:
+        if not ident.is_identifier():
+            raise ValueError(f"bind_identifier: not an identifier: {ident!r}")
+        self.add(ident.e, ident.scopes, binding, phase)
+
+    def resolve(
+        self, ident: Syntax, phase: int = 0, exactly: bool = False
+    ) -> Optional[Binding]:
+        """Resolve an identifier; None when unbound.
+
+        ``exactly`` requires the binding's scope set to equal the reference's
+        (used when checking for duplicate definitions).
+        """
+        entries = self._entries.get((ident.e, phase))
+        if not entries:
+            return None
+        ref_scopes = ident.scopes
+        candidates = [(s, b) for (s, b) in entries if s <= ref_scopes]
+        if not candidates:
+            return None
+        best_scopes, best = max(candidates, key=lambda sb: len(sb[0]))
+        best_key = best.key()
+        for s, b in candidates:
+            if not (s <= best_scopes) and b.key() != best_key:
+                raise AmbiguousBindingError(
+                    f"identifier's binding is ambiguous: {ident.e}", ident
+                )
+        if exactly and best_scopes != ref_scopes:
+            return None
+        return best
+
+    def resolve_or_raise(self, ident: Syntax, phase: int = 0) -> Binding:
+        binding = self.resolve(ident, phase)
+        if binding is None:
+            raise UnboundIdentifierError(f"unbound identifier: {ident.e}", ident)
+        return binding
+
+
+#: The single global binding table (scopes are globally unique, so sharing
+#: one table across all compilations is safe — this mirrors Racket, where
+#: binding information lives on the scopes themselves).
+TABLE = BindingTable()
+
+
+def free_identifier_eq(a: Syntax, b: Syntax, phase: int = 0) -> bool:
+    """The paper's ``free-identifier=?``: do two identifiers refer to the
+    same binding? Unbound identifiers compare by symbolic name."""
+    ba = TABLE.resolve(a, phase)
+    bb = TABLE.resolve(b, phase)
+    if ba is None and bb is None:
+        return a.e is b.e
+    if ba is None or bb is None:
+        return False
+    return ba is bb or ba.key() == bb.key()
+
+
+def bound_identifier_eq(a: Syntax, b: Syntax) -> bool:
+    """Would ``a`` bind references to ``b``? Same symbol and same scopes."""
+    return a.e is b.e and a.scopes == b.scopes

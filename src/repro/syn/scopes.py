@@ -1,0 +1,61 @@
+"""Scopes and scope sets — the hygiene mechanism of the expander.
+
+We use the sets-of-scopes model (Flatt, POPL 2016), the modern formulation of
+the Racket macro expander that the paper relies on. Every syntax object
+carries a set of scopes; every binding is recorded together with the scope set
+of its binder; a reference resolves to the binding whose scope set is the
+largest subset of the reference's scopes.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+
+class Scope:
+    """A unique token added to syntax by a binding form or macro expansion.
+
+    ``kind`` is purely informational (useful in error messages and debugging):
+    ``module``, ``macro`` (introduction scopes), ``use-site``, ``local``
+    (binding forms), ``lang`` (a language library's anchor scope).
+    """
+
+    __slots__ = ("id", "kind")
+    _counter = 0
+
+    def __init__(self, kind: str = "local") -> None:
+        Scope._counter += 1
+        self.id = Scope._counter
+        self.kind = kind
+
+    def __repr__(self) -> str:
+        return f"#<scope:{self.kind}:{self.id}>"
+
+    def __lt__(self, other: "Scope") -> bool:
+        return self.id < other.id
+
+
+ScopeSet = FrozenSet[Scope]
+
+EMPTY_SCOPES: ScopeSet = frozenset()
+
+
+def add_scope(scopes: ScopeSet, scope: Scope) -> ScopeSet:
+    return scopes | {scope}
+
+
+def remove_scope(scopes: ScopeSet, scope: Scope) -> ScopeSet:
+    return scopes - {scope}
+
+
+def flip_scope(scopes: ScopeSet, scope: Scope) -> ScopeSet:
+    """Add the scope if absent, remove it if present.
+
+    Flipping is how macro-introduction scopes work: the expander flips the
+    introduction scope on the macro's input and again on its output, so only
+    syntax *introduced* by the transformer (absent from the input) ends up
+    carrying the scope.
+    """
+    if scope in scopes:
+        return scopes - {scope}
+    return scopes | {scope}

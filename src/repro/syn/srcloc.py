@@ -1,0 +1,42 @@
+"""Source locations attached to every datum the reader produces."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True, slots=True)
+class SrcLoc:
+    """A point (and span) in a source file.
+
+    ``line`` and ``column`` are 1- and 0-based respectively, following
+    Racket's convention. ``position`` is the 0-based character offset and
+    ``span`` the number of characters covered.
+    """
+
+    source: str
+    line: int
+    column: int
+    position: int = 0
+    span: int = 0
+
+    def __str__(self) -> str:
+        return f"{self.source}:{self.line}:{self.column}"
+
+    def merge(self, other: Optional["SrcLoc"]) -> "SrcLoc":
+        """Produce a location spanning from ``self`` to the end of ``other``."""
+        if other is None or other.source != self.source:
+            return self
+        end = max(self.position + self.span, other.position + other.span)
+        return SrcLoc(
+            source=self.source,
+            line=self.line,
+            column=self.column,
+            position=self.position,
+            span=end - self.position,
+        )
+
+
+#: Placeholder location for syntax constructed programmatically.
+NO_SRCLOC = SrcLoc(source="<generated>", line=0, column=0)

@@ -1,0 +1,111 @@
+"""A simple REPL for the platform.
+
+Each entered form is appended to an accumulating module body which is
+recompiled and re-run (in a fresh namespace) after every input — simple,
+and exactly right for a module-oriented language where compilation is the
+interesting phase. Definitions persist; expression results print.
+
+    $ python -m repro --repl [language]
+    repro> (define (square x) (* x x))
+    repro> (square 12)
+    144
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional
+
+from repro.errors import ReproError
+from repro.reader.reader import Reader
+from repro.tools.runner import Runtime
+
+
+class Repl:
+    def __init__(self, language: str = "racket") -> None:
+        self.runtime = Runtime()
+        self.language = language
+        self.forms: list[str] = []
+        self._counter = 0
+        self._last_output = ""
+
+    def eval_input(self, text: str) -> str:
+        """Process one input; returns the *new* output it produced."""
+        text = text.strip()
+        if not text:
+            return ""
+        # validate it reads as one or more complete forms
+        reader = Reader(text, "<repl>")
+        parsed = []
+        while True:
+            form = reader.read()
+            if form is None:
+                break
+            parsed.append(form)
+        if not parsed:
+            return ""
+        candidate = self.forms + [self._wrap(text, parsed)]
+        source = f"#lang {self.language}\n" + "\n".join(candidate)
+        self._counter += 1
+        path = f"<repl-{self._counter}>"
+        self.runtime.register_module(path, source)
+        output = self.runtime.run(path)
+        new_output = output[len(self._last_output):] if output.startswith(
+            self._last_output
+        ) else output
+        self.forms = candidate
+        self._last_output = output
+        return new_output
+
+    def _wrap(self, text: str, parsed: list) -> str:
+        """Expressions get their value displayed; definitions run silently."""
+        from repro.runtime.values import Symbol
+        from repro.syn.syntax import Syntax
+
+        def is_definition(stx: Syntax) -> bool:
+            if not (isinstance(stx.e, tuple) and stx.e and stx.e[0].is_identifier()):
+                return False
+            return stx.e[0].e.name in (
+                "define", "define:", "define-values", "define-syntax",
+                "define-syntaxes", "define-struct", "struct", "require",
+                "provide", ":",
+            )
+
+        if len(parsed) == 1 and not is_definition(parsed[0]):
+            return f"(%repl-show {text})"
+        return text
+
+    def run(self, stdin=None, stdout=None) -> int:
+        stdin = stdin if stdin is not None else sys.stdin
+        stdout = stdout if stdout is not None else sys.stdout
+        stdout.write(f"repro REPL (#lang {self.language}); ctrl-D to exit\n")
+        # %repl-show displays non-void values, like Racket's REPL
+        if self.language in ("typed", "typed/racket", "simple-type"):
+            self.forms.append(
+                "(define (%repl-show [v : Any]) : Void"
+                " (if (void? v) (void) (displayln v)))"
+            )
+        else:
+            self.forms.append(
+                "(define (%repl-show v) (if (void? v) (void) (displayln v)))"
+            )
+        while True:
+            stdout.write("repro> ")
+            stdout.flush()
+            line = stdin.readline()
+            if not line:
+                stdout.write("\n")
+                return 0
+            try:
+                stdout.write(self.eval_input(line))
+            except ReproError as error:
+                stdout.write(f"error: {error}\n")
+                # roll back: self.forms unchanged on error already
+            except KeyboardInterrupt:  # pragma: no cover
+                stdout.write("\n")
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = argv if argv is not None else sys.argv[1:]
+    language = args[0] if args else "racket"
+    return Repl(language).run()

@@ -1,0 +1,99 @@
+"""The public entry point: a Runtime that compiles and runs ``#lang`` modules.
+
+    from repro import Runtime
+
+    rt = Runtime()
+    rt.register_module("m", '#lang racket\\n(displayln (+ 1 2))')
+    output = rt.run("m")          # -> "3\\n"
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Optional
+
+from repro.core.namespace import Namespace
+from repro.modules.instantiate import instantiate_module
+from repro.modules.registry import ModuleRegistry
+from repro.runtime.ports import capture_output
+
+_ANON = itertools.count()
+
+
+class Runtime:
+    """A registry of languages and modules plus a runtime namespace factory."""
+
+    def __init__(self) -> None:
+        self.registry = ModuleRegistry()
+        self._install_languages()
+
+    def _install_languages(self) -> None:
+        from repro.langs.count import make_count_language
+        from repro.langs.datalog import make_datalog_language
+        from repro.langs.lazy import make_lazy_language
+        from repro.langs.racket import make_racket_language
+        from repro.langs.simple_type import make_simple_type_language
+        from repro.langs.typed import make_typed_language
+
+        make_racket_language(self.registry)
+        make_count_language(self.registry)
+        make_simple_type_language(self.registry)
+        make_typed_language(self.registry)
+        make_lazy_language(self.registry)
+        make_datalog_language(self.registry)
+
+    # -- module registration -------------------------------------------------
+
+    def register_module(self, path: str, source: str) -> str:
+        """Register a module from ``#lang`` source text under ``path``."""
+        self.registry.register_module_source(path, source)
+        return path
+
+    def register_file(self, filename: str) -> str:
+        return self.registry.register_file(filename)
+
+    # -- compilation / execution ----------------------------------------------
+
+    def compile(self, path: str) -> Any:
+        """Compile a module (and its dependencies); returns the CompiledModule."""
+        return self.registry.get_compiled(path)
+
+    def make_namespace(self) -> Namespace:
+        return self.registry.make_runtime_namespace()
+
+    def instantiate(self, path: str, ns: Optional[Namespace] = None) -> Namespace:
+        """Compile and run a module; returns the namespace it ran in."""
+        if ns is None:
+            ns = self.make_namespace()
+        instantiate_module(self.registry, path, ns)
+        return ns
+
+    def run(self, path: str, ns: Optional[Namespace] = None) -> str:
+        """Compile and run a module, capturing and returning its output."""
+        with capture_output() as port:
+            self.instantiate(path, ns)
+        return port.contents()
+
+    def run_source(self, source: str, path: Optional[str] = None) -> str:
+        """Register and run anonymous ``#lang`` source text."""
+        if path is None:
+            path = f"<program-{next(_ANON)}>"
+        self.register_module(path, source)
+        return self.run(path)
+
+    def run_file(self, filename: str) -> str:
+        return self.run(self.register_file(filename))
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """CLI: ``python -m repro program.rkt`` runs a ``#lang`` module file."""
+    import sys
+
+    args = argv if argv is not None else sys.argv[1:]
+    if not args:
+        print("usage: python -m repro <file.rkt>", file=sys.stderr)
+        return 2
+    rt = Runtime()
+    path = rt.register_file(args[0])
+    rt.instantiate(path)
+    return 0

@@ -1,0 +1,35 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro import Runtime
+from repro.runtime.stats import STATS
+
+_COUNTER = itertools.count()
+
+
+@pytest.fixture()
+def rt() -> Runtime:
+    """A fresh Runtime per test (languages, registry, namespaces)."""
+    return Runtime()
+
+
+@pytest.fixture()
+def run(rt: Runtime):
+    """Run ``#lang`` source and return its captured output."""
+
+    def runner(source: str) -> str:
+        return rt.run_source(source, path=f"<test-{next(_COUNTER)}>")
+
+    return runner
+
+
+@pytest.fixture(autouse=True)
+def reset_stats():
+    STATS.reset()
+    yield
+    STATS.reset()

@@ -1,0 +1,123 @@
+"""Tests for the datalog language and its engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RuntimeReproError, SyntaxExpansionError
+from repro.langs.datalog.engine import Database, Rule, is_variable, unify_atom
+from repro.runtime.values import Symbol
+
+
+def sym(name: str) -> Symbol:
+    return Symbol(name)
+
+
+class TestEngine:
+    def test_variables_are_capitalized_symbols(self):
+        assert is_variable(sym("X"))
+        assert is_variable(sym("Who"))
+        assert not is_variable(sym("alice"))
+        assert not is_variable(42)
+
+    def test_unify_constant_match(self):
+        assert unify_atom(("p", sym("a")), ("p", sym("a")), {}) == {}
+
+    def test_unify_constant_mismatch(self):
+        assert unify_atom(("p", sym("a")), ("p", sym("b")), {}) is None
+
+    def test_unify_predicate_mismatch(self):
+        assert unify_atom(("p", sym("a")), ("q", sym("a")), {}) is None
+
+    def test_unify_binds_variable(self):
+        bindings = unify_atom(("p", sym("X")), ("p", sym("a")), {})
+        assert bindings == {"X": sym("a")}
+
+    def test_unify_respects_existing_binding(self):
+        assert unify_atom(("p", sym("X")), ("p", sym("b")), {"X": sym("a")}) is None
+
+    def test_repeated_variable(self):
+        assert unify_atom(("p", sym("X"), sym("X")), ("p", sym("a"), sym("a")), {}) == {
+            "X": sym("a")
+        }
+        assert (
+            unify_atom(("p", sym("X"), sym("X")), ("p", sym("a"), sym("b")), {}) is None
+        )
+
+    def test_fixpoint_transitive_closure(self):
+        db = Database()
+        db.assert_fact(("edge", 1, 2))
+        db.assert_fact(("edge", 2, 3))
+        db.assert_fact(("edge", 3, 4))
+        db.assert_rule(Rule(("path", sym("X"), sym("Y")), (("edge", sym("X"), sym("Y")),)))
+        db.assert_rule(
+            Rule(
+                ("path", sym("X"), sym("Z")),
+                (("edge", sym("X"), sym("Y")), ("path", sym("Y"), sym("Z"))),
+            )
+        )
+        assert len(db.query(("path", 1, sym("W")))) == 3
+
+    def test_non_ground_fact_rejected(self):
+        db = Database()
+        with pytest.raises(RuntimeReproError):
+            db.assert_fact(("p", sym("X")))
+
+    def test_unsafe_rule_rejected(self):
+        db = Database()
+        with pytest.raises(RuntimeReproError, match="unsafe"):
+            db.assert_rule(Rule(("p", sym("X")), (("q", sym("Y")),)))
+
+    def test_numbers_and_strings_as_constants(self):
+        db = Database()
+        db.assert_fact(("age", sym("alice"), 30))
+        db.assert_fact(("name", sym("alice"), "Alice"))
+        assert db.query(("age", sym("alice"), 30)) == [{}]
+        assert db.query(("age", sym("alice"), 31)) == []
+
+
+class TestLanguage:
+    def test_ancestor_program(self, run):
+        assert run(
+            """#lang datalog
+(! (parent alice bob))
+(! (parent bob carol))
+(:- (ancestor X Y) (parent X Y))
+(:- (ancestor X Z) (parent X Y) (ancestor Y Z))
+(? (ancestor alice Who))"""
+        ) == "ancestor(alice, bob).\nancestor(alice, carol).\n"
+
+    def test_query_with_no_answers_prints_nothing(self, run):
+        assert run(
+            "#lang datalog\n(! (p a))\n(? (q X))"
+        ) == ""
+
+    def test_ground_query(self, run):
+        assert run(
+            "#lang datalog\n(! (p a))\n(? (p a))\n(? (p b))"
+        ) == "p(a).\n"
+
+    def test_statement_order_is_irrelevant_for_rules(self, run):
+        # queries see the saturated database regardless of rule position
+        assert run(
+            """#lang datalog
+(:- (q X) (p X))
+(! (p one))
+(? (q X))"""
+        ) == "q(one).\n"
+
+    def test_bad_statement_rejected(self, run):
+        with pytest.raises(SyntaxExpansionError):
+            run("#lang datalog\n(frobnicate (p a))")
+
+    def test_independent_module_databases(self, rt):
+        rt.register_module("d1", "#lang datalog\n(! (p a))\n(? (p X))")
+        rt.register_module("d2", "#lang datalog\n(! (p b))\n(? (p X))")
+        assert rt.run("d1") == "p(a).\n"
+        assert rt.run("d2") == "p(b).\n"
+
+    def test_same_graph_two_languages(self, rt):
+        """The §2.3 point: the language is per-module; a racket module and a
+        datalog module coexist on one platform."""
+        assert rt.run_source("#lang datalog\n(! (e 1 2))\n(? (e X Y))") == "e(1, 2).\n"
+        assert rt.run_source("#lang racket\n(displayln 'still-racket)") == "still-racket\n"

@@ -1,0 +1,185 @@
+"""Systematic coverage of the typed language's delta rules — the custom
+typing rules for the kernel's variadic / polymorphic operations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TypeCheckError
+
+
+def check(run, expr: str, type_name: str, value: str) -> None:
+    out = run(
+        f"#lang typed\n(define result : {type_name} {expr})\n(displayln result)"
+    )
+    assert out == value + "\n"
+
+
+class TestNumericDeltas:
+    def test_add_integer(self, run):
+        check(run, "(+ 1 2 3)", "Integer", "6")
+
+    def test_add_float(self, run):
+        check(run, "(+ 1.0 2.0 3.5)", "Float", "6.5")
+
+    def test_add_mixed_is_number(self, run):
+        check(run, "(+ 1 2.5)", "Number", "3.5")
+
+    def test_add_float_complex(self, run):
+        check(run, "(+ 1.0+1.0i 2.0+0.5i)", "Float-Complex", "3.0+1.5i")
+
+    def test_nullary_add(self, run):
+        check(run, "(+)", "Integer", "0")
+
+    def test_unary_minus(self, run):
+        check(run, "(- 5)", "Integer", "-5")
+
+    def test_div_integers_is_real(self, run):
+        check(run, "(/ 3 4)", "Real", "3/4")
+
+    def test_div_floats_is_float(self, run):
+        check(run, "(/ 1.0 4.0)", "Float", "0.25")
+
+    def test_add_rejects_non_number(self, run):
+        with pytest.raises(TypeCheckError):
+            run('#lang typed\n(+ 1 "two")')
+
+    def test_comparison_chains(self, run):
+        check(run, "(< 1 2 3)", "Boolean", "#t")
+
+    def test_comparison_rejects_complex(self, run):
+        with pytest.raises(TypeCheckError):
+            run("#lang typed\n(< 1.0+1.0i 2)")
+
+    def test_min_max_reject_complex(self, run):
+        with pytest.raises(TypeCheckError):
+            run("#lang typed\n(min 1.0+1.0i 2.0+2.0i)")
+
+    def test_min_preserves_integer(self, run):
+        check(run, "(min 3 1 2)", "Integer", "1")
+
+
+class TestListDeltas:
+    def test_cons_builds_pair_type(self, run):
+        check(run, '(cons 1 "x")', "(Pairof Integer String)", "(1 . x)")
+
+    def test_list_builds_fixed_type(self, run):
+        check(run, '(list 1 "a" #t)', "(List Integer String Boolean)", "(1 a #t)")
+
+    def test_empty_list_is_null(self, run):
+        check(run, "(list)", "Null", "()")
+
+    def test_car_on_pairof(self, run):
+        check(run, "(car (cons 1 2.0))", "Integer", "1")
+
+    def test_cdr_on_pairof(self, run):
+        check(run, "(cdr (cons 1 2.0))", "Float", "2.0")
+
+    def test_append_joins_element_types(self, run):
+        check(
+            run,
+            '(append (list 1) (list "a"))',
+            "(Listof (U Integer String))",
+            "(1 a)",
+        )
+
+    def test_reverse_preserves(self, run):
+        check(run, "(reverse (list 1 2 3))", "(Listof Integer)", "(3 2 1)")
+
+    def test_length_is_integer(self, run):
+        check(run, "(length (list 1 2))", "Integer", "2")
+
+    def test_length_rejects_non_list(self, run):
+        with pytest.raises(TypeCheckError):
+            run("#lang typed\n(length 5)")
+
+    def test_list_ref(self, run):
+        check(run, "(list-ref (list 1.5 2.5) 1)", "Float", "2.5")
+
+    def test_list_ref_index_must_be_integer(self, run):
+        with pytest.raises(TypeCheckError):
+            run("#lang typed\n(list-ref (list 1) 0.5)")
+
+    def test_member_returns_union(self, run):
+        check(
+            run,
+            "(member 2 (list 1 2 3))",
+            "(U Boolean (Listof Integer))",
+            "(2 3)",
+        )
+
+    def test_filter(self, run):
+        check(run, "(filter even? (list 1 2 3 4))", "(Listof Integer)", "(2 4)")
+
+    def test_foldl_result_from_function(self, run):
+        check(run, "(foldl + 0 (list 1 2 3))", "Integer", "6")
+
+    def test_sort(self, run):
+        check(run, "(sort (list 3 1 2) <)", "(Listof Integer)", "(1 2 3)")
+
+    def test_build_list(self, run):
+        check(run, "(build-list 3 add1)", "(Listof Integer)", "(1 2 3)")
+
+    def test_map_element_mismatch_rejected(self, run):
+        with pytest.raises(TypeCheckError):
+            run(
+                """#lang typed
+(: shout (String -> String))
+(define (shout s) s)
+(map shout (list 1 2))"""
+            )
+
+
+class TestVectorDeltas:
+    def test_vector_literal_joins(self, run):
+        check(run, "(vector-ref (vector 1 2) 0)", "Integer", "1")
+
+    def test_make_vector_type_from_fill(self, run):
+        check(run, "(vector-ref (make-vector 2 0.5) 1)", "Float", "0.5")
+
+    def test_vector_set_checked(self, run):
+        with pytest.raises(TypeCheckError):
+            run('#lang typed\n(vector-set! (make-vector 1 0) 0 "s")')
+
+    def test_vector_length(self, run):
+        check(run, "(vector-length (vector 1 2 3))", "Integer", "3")
+
+    def test_vector_roundtrips(self, run):
+        check(run, "(vector->list (vector 1 2))", "(Listof Integer)", "(1 2)")
+        check(run, "(vector-ref (list->vector (list 9)) 0)", "Integer", "9")
+
+    def test_build_vector(self, run):
+        check(run, "(vector-ref (build-vector 3 add1) 2)", "Integer", "3")
+
+    def test_vector_ops_reject_non_vectors(self, run):
+        with pytest.raises(TypeCheckError):
+            run("#lang typed\n(vector-ref (list 1) 0)")
+
+
+class TestStringAndOutputDeltas:
+    def test_string_append(self, run):
+        check(run, '(string-append "a" "b" "c")', "String", "abc")
+
+    def test_string_append_rejects_non_strings(self, run):
+        with pytest.raises(TypeCheckError):
+            run('#lang typed\n(string-append "a" 1)')
+
+    def test_printf_requires_format_string(self, run):
+        with pytest.raises(TypeCheckError):
+            run("#lang typed\n(printf 42)")
+
+    def test_printf_accepts_any_args(self, run):
+        out = run('#lang typed\n(printf "~a ~a~n" 1 "two")')
+        assert out == "1 two\n"
+
+    def test_format_returns_string(self, run):
+        check(run, '(format "~a!" 9)', "String", "9!")
+
+    def test_error_is_bottom(self, run):
+        # error's Nothing type fits anywhere — both branches typecheck
+        check(run, '(if (< 1 2) 5 (error "no"))', "Integer", "5")
+
+    def test_predicates_return_boolean(self, run):
+        check(run, "(null? (list))", "Boolean", "#t")
+        check(run, "(equal? 1 2)", "Boolean", "#f")
+        check(run, "(not #f)", "Boolean", "#t")

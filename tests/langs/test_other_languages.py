@@ -1,0 +1,84 @@
+"""Tests for the count and lazy demonstration languages (§1, §2.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RuntimeReproError
+
+
+class TestCount:
+    def test_paper_example_verbatim(self, run):
+        # §2.3: prints "Found 2 expressions.*3*1"
+        assert run(
+            """#lang count
+(printf "*~a" (+ 1 2))
+(printf "*~a" (- 4 3))"""
+        ) == "Found 2 expressions.*3*1"
+
+    def test_counts_before_running(self, run):
+        assert run("#lang count\n(displayln 'only-one)") == (
+            "Found 1 expressions.only-one\n"
+        )
+
+    def test_empty_module(self, run):
+        assert run("#lang count\n") == "Found 0 expressions."
+
+    def test_definitions_count_as_expressions(self, run):
+        out = run("#lang count\n(define x 1)\n(displayln x)")
+        assert out.startswith("Found 2 expressions.")
+
+    def test_rest_of_racket_available(self, run):
+        out = run("#lang count\n(displayln (map add1 (list 1 2)))")
+        assert out == "Found 1 expressions.(2 3)\n"
+
+
+class TestLazy:
+    def test_unused_arguments_not_evaluated(self, run):
+        assert run(
+            """#lang lazy
+(define (pick a b) a)
+(displayln (pick 'used (error "must not run")))"""
+        ) == "used\n"
+
+    def test_forced_when_needed(self, run):
+        with pytest.raises(RuntimeReproError, match="needed"):
+            run(
+                """#lang lazy
+(define (pick a b) b)
+(displayln (pick 1 (error "needed")))"""
+            )
+
+    def test_if_forces_test(self, run):
+        assert run("#lang lazy\n(displayln (if (< 1 2) 'yes 'no))") == "yes\n"
+
+    def test_infinite_stream(self, run):
+        assert run(
+            """#lang lazy
+(define (nats-from n) (cons n (nats-from (+ n 1))))
+(define (take lst n)
+  (if (= n 0) '() (cons (car lst) (take (cdr lst) (- n 1)))))
+(define (sum lst) (if (null? lst) 0 (+ (car lst) (sum (cdr lst)))))
+(displayln (sum (take (nats-from 1) 100)))"""
+        ) == "5050\n"
+
+    def test_memoization(self, run):
+        # the side effect runs once even though the value is used twice
+        assert run(
+            """#lang lazy
+(define (use-twice x) (+ x x))
+(displayln (use-twice (begin (display "eval!") 21)))"""
+        ) == "eval!42\n"
+
+    def test_same_program_diverges_or_not_by_language(self, rt):
+        """The same module text behaves differently under racket vs lazy —
+        language choice is per-module (§2.3)."""
+        source_body = """
+(define (pick a b) a)
+(define result (pick 'fine (error "strict blows up")))
+(displayln result)"""
+        rt.register_module("strict-version", "#lang racket" + source_body)
+        rt.register_module("lazy-version", "#lang lazy" + source_body)
+        with pytest.raises(RuntimeReproError):
+            rt.run("strict-version")
+        assert rt.run("lazy-version") == "fine\n"

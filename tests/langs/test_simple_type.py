@@ -1,0 +1,179 @@
+"""Tests for the ``simple-type`` language — the paper's §4 system."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TypeCheckError
+
+
+class TestPaperExamples:
+    def test_section_4_1_module(self, run):
+        # the module from §4.1, verbatim
+        assert run(
+            """#lang simple-type
+(define x : Integer 1)
+(define y : Integer 2)
+(define (f [z : Integer]) : Integer (* x (+ y z)))
+(displayln (f 0))"""
+        ) == "2\n"
+
+    def test_section_4_1_type_error(self, run):
+        # "(define w : Integer 3.7)  =>  typecheck: wrong type in: 3.7"
+        with pytest.raises(TypeCheckError, match="wrong type"):
+            run("#lang simple-type\n(define w : Integer 3.7)")
+
+    def test_modules_with_type_errors_are_not_executable(self, rt):
+        rt.register_module("bad", "#lang simple-type\n(define w : Integer 3.7)")
+        with pytest.raises(TypeCheckError):
+            rt.compile("bad")
+
+    def test_define_colon_form(self, run):
+        # §3.1's (define: x : Number 3)
+        assert run(
+            "#lang simple-type\n(define: x : Number 3)\n(displayln x)"
+        ) == "3\n"
+
+    def test_let_colon(self, run):
+        # §3.1's let: rewrites into an annotated lambda application
+        assert run(
+            """#lang simple-type
+(define x : Integer 5)
+(displayln (let: ([y : Integer 2]) (+ x y)))"""
+        ) == "7\n"
+
+    def test_lambda_colon(self, run):
+        assert run(
+            "#lang simple-type\n(displayln ((lambda: ([x : Integer]) (* x x)) 6))"
+        ) == "36\n"
+
+
+class TestCheckerRules:
+    def test_literals(self, run):
+        assert run(
+            """#lang simple-type
+(define i : Integer 1)
+(define f : Float 1.5)
+(define n : Number 1/2)
+(define b : Boolean #t)
+(define s : String "hi")
+(displayln 'ok)"""
+        ) == "ok\n"
+
+    def test_integer_is_a_number(self, run):
+        assert run("#lang simple-type\n(define n : Number 3)\n(displayln n)") == "3\n"
+
+    def test_number_is_not_an_integer(self, run):
+        with pytest.raises(TypeCheckError):
+            run(
+                """#lang simple-type
+(define n : Number 3)
+(define i : Integer n)"""
+            )
+
+    def test_if_branches_must_agree(self, run):
+        with pytest.raises(TypeCheckError, match="branches must agree"):
+            run(
+                """#lang simple-type
+(define b : Boolean #t)
+(define x : Number (if b 1 2.5))"""
+            )
+
+    def test_if_test_must_be_boolean(self, run):
+        with pytest.raises(TypeCheckError):
+            run("#lang simple-type\n(define x : Integer (if 1 2 3))")
+
+    def test_context_sensitive_application(self, run):
+        # §3.2: checking (f 7) relies on contextual information about f
+        assert run(
+            """#lang simple-type
+(define (f [z : Number]) : Number (sqrt (* 2.0 2.0)))
+(displayln (f 7))"""
+        ) == "2.0\n"
+
+    def test_wrong_argument_type(self, run):
+        with pytest.raises(TypeCheckError, match="wrong argument types|no matching case"):
+            run(
+                """#lang simple-type
+(define (f [z : Integer]) : Integer z)
+(f 1.5)"""
+            )
+
+    def test_wrong_argument_count(self, run):
+        with pytest.raises(TypeCheckError):
+            run(
+                """#lang simple-type
+(define (f [z : Integer]) : Integer z)
+(f 1 2)"""
+            )
+
+    def test_applying_non_function(self, run):
+        with pytest.raises(TypeCheckError, match="not a function type"):
+            run("#lang simple-type\n(define x : Integer 1)\n(x 2)")
+
+    def test_body_must_match_result_annotation(self, run):
+        with pytest.raises(TypeCheckError):
+            run("#lang simple-type\n(define (f [x : Integer]) : Integer 1.5)")
+
+    def test_unannotated_variable_rejected(self, run):
+        with pytest.raises(TypeCheckError, match="untyped variable"):
+            run("#lang simple-type\n(define x 1)\n(displayln x)")
+
+    def test_functions_as_values(self, run):
+        assert run(
+            """#lang simple-type
+(define (apply-twice [f : (Integer -> Integer)] [x : Integer]) : Integer
+  (f (f x)))
+(define (inc [n : Integer]) : Integer (+ n 1))
+(displayln (apply-twice inc 5))"""
+        ) == "7\n"
+
+    def test_set_bang_checked(self, run):
+        with pytest.raises(TypeCheckError):
+            run("#lang simple-type\n(define x : Integer 1)\n(set! x 2.5)")
+
+    def test_set_bang_well_typed(self, run):
+        assert run(
+            "#lang simple-type\n(define x : Integer 1)\n(set! x 99)\n(displayln x)"
+        ) == "99\n"
+
+    def test_macros_reduce_to_core_before_checking(self, run):
+        # `when`, `and` are macros; the checker sees only core forms
+        assert run(
+            """#lang simple-type
+(define b : Boolean #f)
+(displayln (if (and b b) 1 2))"""
+        ) == "2\n"
+
+    def test_arithmetic_overloads(self, run):
+        assert run(
+            """#lang simple-type
+(define i : Integer (* 2 3))
+(define f : Float (* 2.0 3.0))
+(define n : Number (* 2 3.0))
+(displayln i)
+(displayln f)
+(displayln n)"""
+        ) == "6\n6.0\n6.0\n"
+
+    def test_float_plus_integer_is_only_a_number(self, run):
+        with pytest.raises(TypeCheckError):
+            run("#lang simple-type\n(define f : Float (+ 1 2.0))")
+
+
+class TestTypeAnnotationProperty:
+    def test_annotation_travels_as_syntax_property(self, rt):
+        """§3.1: the type is out-of-band — host `define` behavior unchanged."""
+        from repro.core.parse import core_form_of
+        from repro.langs.simple_type.checker import TYPE_ANNOTATION_KEY
+
+        rt.register_module("m", "#lang simple-type\n(define x : Integer 1)")
+        rt.compile("m")
+        # compile a module and inspect the expanded definition's binder
+        # indirectly: the module compiled, so the property must have reached
+        # the checker. Now verify the property mechanism directly:
+        from repro.langs.simple_type.forms import annotate
+        from repro.reader import read_string_one
+
+        ident = annotate(read_string_one("x"), read_string_one("Integer"))
+        assert ident.property_get(TYPE_ANNOTATION_KEY) is not None

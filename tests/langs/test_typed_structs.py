@@ -1,0 +1,121 @@
+"""Tests for typed structs (nominal struct types in the typed language)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ContractViolation, SyntaxExpansionError, TypeCheckError
+
+GEOMETRY = """#lang typed
+(struct point ([x : Float] [y : Float]))
+(: norm (point -> Float))
+(define (norm p)
+  (sqrt (+ (* (point-x p) (point-x p)) (* (point-y p) (point-y p)))))
+(provide point point? point-x point-y norm)
+"""
+
+
+class TestWithinModule:
+    def test_construct_and_access(self, run):
+        assert run(
+            """#lang typed
+(struct pair2 ([a : Integer] [b : Integer]))
+(define p : pair2 (pair2 1 2))
+(displayln (+ (pair2-a p) (pair2-b p)))"""
+        ) == "3\n"
+
+    def test_struct_name_usable_in_annotations(self, run):
+        assert run(
+            """#lang typed
+(struct box1 ([v : String]))
+(: get (box1 -> String))
+(define (get b) (box1-v b))
+(displayln (get (box1 "contents")))"""
+        ) == "contents\n"
+
+    def test_constructor_field_types_checked(self, run):
+        with pytest.raises(TypeCheckError):
+            run(
+                """#lang typed
+(struct point ([x : Float] [y : Float]))
+(point 1 2)"""
+            )
+
+    def test_accessor_requires_struct_type(self, run):
+        with pytest.raises(TypeCheckError):
+            run(
+                """#lang typed
+(struct point ([x : Float] [y : Float]))
+(point-x 42)"""
+            )
+
+    def test_nominal_not_structural(self, run):
+        # two structs with the same shape are distinct types
+        with pytest.raises(TypeCheckError):
+            run(
+                """#lang typed
+(struct a ([v : Integer]))
+(struct b ([v : Integer]))
+(define x : a (b 1))"""
+            )
+
+    def test_structs_nest_in_container_types(self, run):
+        assert run(
+            """#lang typed
+(struct point ([x : Float] [y : Float]))
+(define pts : (Listof point) (list (point 1.0 2.0) (point 3.0 4.0)))
+(: sum-x ((Listof point) -> Float))
+(define (sum-x ps)
+  (if (null? ps) 0.0 (+ (point-x (car ps)) (sum-x (cdr ps)))))
+(displayln (sum-x pts))"""
+        ) == "4.0\n"
+
+    def test_predicate_takes_any(self, run):
+        assert run(
+            """#lang typed
+(struct point ([x : Float]))
+(displayln (point? "no"))"""
+        ) == "#f\n"
+
+    def test_options_rejected_in_typed(self, run):
+        with pytest.raises(SyntaxExpansionError):
+            run("#lang typed\n(struct p ([x : Float]) #:mutable)")
+
+
+class TestAcrossModules:
+    def test_typed_client(self, rt):
+        rt.register_module("geometry", GEOMETRY)
+        rt.register_module(
+            "client",
+            """#lang typed
+(require geometry)
+(define p : point (point 6.0 8.0))
+(displayln (norm p))""",
+        )
+        assert rt.run("client") == "10.0\n"
+
+    def test_typed_client_misuse_static(self, rt):
+        rt.register_module("geometry", GEOMETRY)
+        rt.register_module(
+            "client",
+            '#lang typed\n(require geometry)\n(norm "nope")',
+        )
+        with pytest.raises(TypeCheckError):
+            rt.compile("client")
+
+    def test_untyped_client_contract(self, rt):
+        rt.register_module("geometry", GEOMETRY)
+        rt.register_module(
+            "client",
+            "#lang racket\n(require geometry)\n(displayln (norm (point 3.0 4.0)))",
+        )
+        assert rt.run("client") == "5.0\n"
+
+    def test_untyped_client_blamed(self, rt):
+        rt.register_module("geometry", GEOMETRY)
+        rt.register_module(
+            "client", '#lang racket\n(require geometry)\n(norm "not-a-point")'
+        )
+        with pytest.raises(ContractViolation) as exc:
+            rt.run("client")
+        assert "point?" in str(exc.value)

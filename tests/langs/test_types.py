@@ -1,0 +1,188 @@
+"""Unit tests for the type grammar: parsing, serialization, subtyping, join."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TypeCheckError
+from repro.langs.typed_common import types as ty
+from repro.reader import read_string_one
+
+
+def parse(src: str) -> ty.Type:
+    return ty.parse_type(read_string_one(src))
+
+
+class TestParsing:
+    @pytest.mark.parametrize(
+        "src,expected",
+        [
+            ("Integer", ty.INTEGER),
+            ("Float", ty.FLOAT),
+            ("Real", ty.REAL),
+            ("Number", ty.NUMBER),
+            ("Float-Complex", ty.FLOAT_COMPLEX),
+            ("Boolean", ty.BOOLEAN),
+            ("String", ty.STRING),
+            ("Void", ty.VOID),
+            ("Any", ty.ANY),
+            ("Null", ty.NULL_TYPE),
+        ],
+    )
+    def test_base_types(self, src, expected):
+        assert parse(src) is expected
+
+    def test_prefix_arrow(self):
+        t = parse("(-> Integer String Boolean)")
+        assert isinstance(t, ty.FunType)
+        assert t.params == [ty.INTEGER, ty.STRING]
+        assert t.result is ty.BOOLEAN
+
+    def test_infix_arrow(self):
+        t = parse("(Integer String -> Boolean)")
+        assert isinstance(t, ty.FunType)
+        assert t.params == [ty.INTEGER, ty.STRING]
+
+    def test_nullary_function(self):
+        t = parse("(-> Integer)")
+        assert isinstance(t, ty.FunType) and t.params == []
+
+    def test_nested_function(self):
+        t = parse("((Integer -> Integer) Integer -> Integer)")
+        assert isinstance(t.params[0], ty.FunType)
+
+    def test_listof(self):
+        t = parse("(Listof Float)")
+        assert isinstance(t, ty.ListofType) and t.element is ty.FLOAT
+
+    def test_pairof(self):
+        t = parse("(Pairof Integer String)")
+        assert isinstance(t, ty.PairType)
+
+    def test_fixed_list(self):
+        t = parse("(List Integer String)")
+        assert isinstance(t, ty.PairType)
+        assert t.car is ty.INTEGER
+        assert isinstance(t.cdr, ty.PairType)
+        assert t.cdr.cdr is ty.NULL_TYPE
+
+    def test_union(self):
+        t = parse("(U Integer String)")
+        assert isinstance(t, ty.UnionType)
+        assert len(t.members) == 2
+
+    def test_union_collapses_subsumed(self):
+        assert parse("(U Integer Number)") is ty.NUMBER
+
+    def test_singleton_union_collapses(self):
+        assert parse("(U Integer Integer)") is ty.INTEGER
+
+    def test_case_arrow(self):
+        t = parse("(case-> (Integer -> Integer) (Float -> Float))")
+        assert isinstance(t, ty.CaseFunType) and len(t.cases) == 2
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeCheckError):
+            parse("Whatever")
+
+    def test_unknown_constructor_rejected(self):
+        with pytest.raises(TypeCheckError):
+            parse("(Setof Integer)")
+
+
+class TestSerialization:
+    @pytest.mark.parametrize(
+        "src",
+        [
+            "Integer",
+            "(-> Integer Float)",
+            "(Listof (Pairof Integer String))",
+            "(U Integer String Boolean)",
+            "(Vectorof Float)",
+            "(case-> (Integer -> Integer) (Float -> Float))",
+            "(-> (-> Integer) (Listof Integer))",
+        ],
+    )
+    def test_roundtrip(self, src):
+        t = parse(src)
+        assert ty.parse_type_datum(ty.serialize(t)) == t
+
+    def test_serialize_to_value_roundtrip(self):
+        t = parse("(Listof (U Integer Float))")
+        value = ty.serialize_to_value(t)
+        assert ty.parse_type_datum(value) == t
+
+
+class TestSubtyping:
+    def test_numeric_tower(self):
+        assert ty.subtype(ty.INTEGER, ty.REAL)
+        assert ty.subtype(ty.INTEGER, ty.NUMBER)
+        assert ty.subtype(ty.FLOAT, ty.REAL)
+        assert ty.subtype(ty.FLOAT_COMPLEX, ty.NUMBER)
+        assert not ty.subtype(ty.REAL, ty.INTEGER)
+        assert not ty.subtype(ty.FLOAT, ty.INTEGER)
+        assert not ty.subtype(ty.INTEGER, ty.FLOAT)
+        assert not ty.subtype(ty.FLOAT_COMPLEX, ty.REAL)
+
+    def test_any_is_top(self):
+        for t in (ty.INTEGER, parse("(Listof Float)"), parse("(-> Integer Integer)")):
+            assert ty.subtype(t, ty.ANY)
+            assert not ty.subtype(ty.ANY, t)
+
+    def test_nothing_is_bottom(self):
+        for t in (ty.INTEGER, parse("(Listof Float)"), ty.ANY):
+            assert ty.subtype(ty.NOTHING, t)
+
+    def test_union_rules(self):
+        u = parse("(U Integer String)")
+        assert ty.subtype(ty.INTEGER, u)
+        assert ty.subtype(ty.STRING, u)
+        assert not ty.subtype(ty.FLOAT, u)
+        assert ty.subtype(u, ty.ANY)
+        assert ty.subtype(parse("(U Integer String)"), parse("(U String Integer Boolean)"))
+
+    def test_listof_covariant(self):
+        assert ty.subtype(parse("(Listof Integer)"), parse("(Listof Number)"))
+        assert not ty.subtype(parse("(Listof Number)"), parse("(Listof Integer)"))
+
+    def test_null_below_listof(self):
+        assert ty.subtype(ty.NULL_TYPE, parse("(Listof Integer)"))
+
+    def test_pair_chain_below_listof(self):
+        assert ty.subtype(parse("(List Integer Integer)"), parse("(Listof Integer)"))
+        assert not ty.subtype(parse("(List Integer String)"), parse("(Listof Integer)"))
+
+    def test_function_contravariance(self):
+        f_wide = parse("(Number -> Integer)")
+        f_narrow = parse("(Integer -> Number)")
+        assert ty.subtype(f_wide, f_narrow)
+        assert not ty.subtype(f_narrow, f_wide)
+
+    def test_vector_invariance(self):
+        assert not ty.subtype(parse("(Vectorof Integer)"), parse("(Vectorof Number)"))
+        assert ty.subtype(parse("(Vectorof Integer)"), parse("(Vectorof Integer)"))
+
+    def test_case_function_subtyping(self):
+        case = parse("(case-> (Integer -> Integer) (Float -> Float))")
+        assert ty.subtype(case, parse("(Integer -> Integer)"))
+        assert ty.subtype(case, parse("(Float -> Float)"))
+        assert not ty.subtype(case, parse("(String -> String)"))
+
+
+class TestJoin:
+    def test_join_with_subtype(self):
+        assert ty.join(ty.INTEGER, ty.NUMBER) is ty.NUMBER
+        assert ty.join(ty.NUMBER, ty.INTEGER) is ty.NUMBER
+
+    def test_join_of_equal(self):
+        assert ty.join(ty.FLOAT, ty.FLOAT) is ty.FLOAT
+
+    def test_join_unrelated_makes_union(self):
+        joined = ty.join(ty.INTEGER, ty.STRING)
+        assert isinstance(joined, ty.UnionType)
+        assert ty.subtype(ty.INTEGER, joined) and ty.subtype(ty.STRING, joined)
+
+    def test_join_is_upper_bound(self):
+        a, b = parse("(Listof Integer)"), ty.NULL_TYPE
+        joined = ty.join(a, b)
+        assert ty.subtype(a, joined) and ty.subtype(b, joined)

@@ -1,0 +1,73 @@
+"""Properties of scope-set operations — the algebra hygiene rests on."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.reader import read_string_one
+from repro.syn.scopes import Scope
+from repro.syn.syntax import Syntax, syntax_to_datum, write_datum
+
+# a pool of scopes, indexed by small ints so hypothesis can share them
+_POOL = [Scope(f"pool{i}") for i in range(8)]
+scopes = st.sampled_from(_POOL)
+
+datum_texts = st.sampled_from(
+    ["x", "(f x y)", "(a (b (c)) 3)", "(lambda (x) (+ x 1))", '(s "str" #t 1.5)']
+)
+syntaxes = datum_texts.map(read_string_one)
+
+
+def all_scope_sets(stx: Syntax) -> list[frozenset]:
+    out = [stx.scopes]
+    if isinstance(stx.e, tuple):
+        for child in stx.e:
+            out.extend(all_scope_sets(child))
+    return out
+
+
+@given(syntaxes, scopes)
+def test_flip_is_involution(stx, sc):
+    twice = stx.flip_scope(sc).flip_scope(sc)
+    assert all_scope_sets(twice) == all_scope_sets(stx)
+
+
+@given(syntaxes, scopes)
+def test_add_is_idempotent(stx, sc):
+    once = stx.add_scope(sc)
+    assert all_scope_sets(once.add_scope(sc)) == all_scope_sets(once)
+
+
+@given(syntaxes, scopes)
+def test_remove_after_add_restores_when_absent(stx, sc):
+    if all(sc not in s for s in all_scope_sets(stx)):
+        roundtrip = stx.add_scope(sc).remove_scope(sc)
+        assert all_scope_sets(roundtrip) == all_scope_sets(stx)
+
+
+@given(syntaxes, scopes, scopes)
+def test_adds_commute(stx, a, b):
+    ab = stx.add_scope(a).add_scope(b)
+    ba = stx.add_scope(b).add_scope(a)
+    assert all_scope_sets(ab) == all_scope_sets(ba)
+
+
+@given(syntaxes, scopes)
+def test_flip_equals_add_when_absent(stx, sc):
+    if all(sc not in s for s in all_scope_sets(stx)):
+        assert all_scope_sets(stx.flip_scope(sc)) == all_scope_sets(stx.add_scope(sc))
+
+
+@given(syntaxes, scopes)
+@settings(max_examples=100)
+def test_scope_ops_preserve_structure(stx, sc):
+    assert write_datum(syntax_to_datum(stx.add_scope(sc))) == write_datum(
+        syntax_to_datum(stx)
+    )
+
+
+@given(syntaxes, scopes)
+def test_scope_ops_preserve_srcloc(stx, sc):
+    assert stx.add_scope(sc).srcloc == stx.srcloc
+    assert stx.flip_scope(sc).srcloc == stx.srcloc

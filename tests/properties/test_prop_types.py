@@ -1,0 +1,111 @@
+"""Properties of the type lattice: subtyping is a preorder, joins are upper
+bounds, serialization roundtrips."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.langs.typed_common import types as ty
+
+base_types = st.sampled_from(
+    [
+        ty.INTEGER, ty.FLOAT, ty.REAL, ty.NUMBER, ty.FLOAT_COMPLEX,
+        ty.BOOLEAN, ty.STRING, ty.CHAR, ty.SYMBOL, ty.VOID, ty.ANY,
+        ty.NULL_TYPE, ty.NOTHING,
+    ]
+)
+
+
+def types_strategy():
+    return st.recursive(
+        base_types,
+        lambda children: st.one_of(
+            st.builds(ty.ListofType, children),
+            st.builds(ty.PairType, children, children),
+            st.builds(ty.VectorofType, children),
+            st.builds(
+                lambda params, result: ty.FunType(params, result),
+                st.lists(children, max_size=2),
+                children,
+            ),
+            st.lists(children, min_size=2, max_size=3).map(ty.make_union),
+        ),
+        max_leaves=6,
+    )
+
+
+TYPES = types_strategy()
+
+
+@given(TYPES)
+@settings(max_examples=200)
+def test_subtype_reflexive(t):
+    assert ty.subtype(t, t)
+
+
+@given(TYPES, TYPES, TYPES)
+@settings(max_examples=300, deadline=None)
+def test_subtype_transitive(a, b, c):
+    if ty.subtype(a, b) and ty.subtype(b, c):
+        assert ty.subtype(a, c)
+
+
+@given(TYPES)
+def test_any_top_nothing_bottom(t):
+    assert ty.subtype(t, ty.ANY)
+    assert ty.subtype(ty.NOTHING, t)
+
+
+@given(TYPES, TYPES)
+@settings(max_examples=200)
+def test_join_is_upper_bound(a, b):
+    joined = ty.join(a, b)
+    assert ty.subtype(a, joined)
+    assert ty.subtype(b, joined)
+
+
+@given(TYPES, TYPES)
+def test_join_commutes_up_to_mutual_subtyping(a, b):
+    ab = ty.join(a, b)
+    ba = ty.join(b, a)
+    assert ty.subtype(ab, ba) and ty.subtype(ba, ab)
+
+
+@given(TYPES)
+@settings(max_examples=200)
+def test_serialize_roundtrip(t):
+    assert ty.parse_type_datum(ty.serialize(t)) == t
+
+
+@given(TYPES)
+def test_serialize_to_value_roundtrip(t):
+    assert ty.parse_type_datum(ty.serialize_to_value(t)) == t
+
+
+@given(TYPES, TYPES)
+def test_union_contains_members(a, b):
+    u = ty.make_union([a, b])
+    assert ty.subtype(a, u) and ty.subtype(b, u)
+
+
+@given(st.lists(TYPES, min_size=1, max_size=4))
+def test_union_normalization_idempotent(members):
+    u1 = ty.make_union(members)
+    u2 = ty.make_union([u1])
+    assert ty.subtype(u1, u2) and ty.subtype(u2, u1)
+
+
+@given(TYPES, TYPES)
+def test_listof_covariance_property(a, b):
+    if ty.subtype(a, b):
+        assert ty.subtype(ty.ListofType(a), ty.ListofType(b))
+
+
+@given(TYPES, TYPES, TYPES)
+@settings(max_examples=200, deadline=None)
+def test_function_contravariance_property(a, b, r):
+    if ty.subtype(a, b):
+        wide = ty.FunType([b], r)
+        narrow = ty.FunType([a], r)
+        assert ty.subtype(wide, narrow)

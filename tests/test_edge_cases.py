@@ -1,0 +1,186 @@
+"""Edge-case regression tests: expander corners, hygiene stress, and
+less-traveled primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RuntimeReproError, WrongTypeError
+
+
+class TestExpanderCorners:
+    def test_begin0_returns_first_value(self, run):
+        assert run(
+            """#lang racket
+(define b (box 0))
+(displayln (begin0 (unbox b) (set-box! b 9)))
+(displayln (unbox b))"""
+        ) == "0\n9\n"
+
+    def test_expression_wrapper(self, run):
+        assert run("#lang racket\n(displayln (#%expression 5))") == "5\n"
+
+    def test_local_variable_shadows_macro(self, run):
+        # `when` is a macro; a formal of the same name must win locally
+        assert run(
+            "#lang racket\n(define (f when) (when 2))\n(displayln (f add1))"
+        ) == "3\n"
+
+    def test_recursive_syntax_rules_hygiene(self, run):
+        assert run(
+            """#lang racket
+(define-syntax my-or
+  (syntax-rules ()
+    [(_) #f]
+    [(_ e) e]
+    [(_ e r ...) (let ([t e]) (if t t (my-or r ...)))]))
+(define t 'outer)
+(displayln (my-or #f #f t))"""
+        ) == "outer\n"
+
+    def test_local_macro_in_body(self, run):
+        assert run(
+            """#lang racket
+(define (f)
+  (define-syntax double (syntax-rules () [(_ e) (* 2 e)]))
+  (double 21))
+(displayln (f))"""
+        ) == "42\n"
+
+    def test_mutually_referencing_macros(self, run):
+        assert run(
+            """#lang racket
+(define-syntax m1 (syntax-rules () [(_ e) (m2 e)]))
+(define-syntax m2 (syntax-rules () [(_ e) (+ e 1)]))
+(displayln (m1 9))"""
+        ) == "10\n"
+
+    def test_macro_generated_definitions_twice(self, run):
+        assert run(
+            """#lang racket
+(define-syntax def2 (syntax-rules () [(_ n v) (define n v)]))
+(def2 a 1)
+(def2 b 2)
+(displayln (+ a b))"""
+        ) == "3\n"
+
+    def test_runtime_syntax_objects(self, run):
+        # quote-syntax at phase 0: syntax objects as first-class values
+        assert run(
+            """#lang racket
+(define s (quote-syntax (a b c)))
+(displayln (length (syntax->list s)))
+(displayln (identifier? (car (syntax-e s))))"""
+        ) == "3\n#t\n"
+
+    def test_deeply_nested_expansion(self, run):
+        nested = "0"
+        for _ in range(40):
+            nested = f"(wrap {nested})"
+        assert run(
+            "#lang racket\n"
+            "(define-syntax wrap (syntax-rules () [(_ e) (+ 1 e)]))\n"
+            f"(displayln {nested})"
+        ) == "40\n"
+
+
+class TestLessTraveledPrimitives:
+    def test_cxr_compositions(self, run):
+        assert run(
+            """#lang racket
+(define t '((1 2) (3 4)))
+(displayln (list (caar t) (cadr t) (cdar t) (caddr '(1 2 3))))"""
+        ) == "(1 (3 4) (2) 3)\n"
+
+    def test_keywords_as_data(self, run):
+        assert run("#lang racket\n(displayln '(#:mode fast))") == "(#:mode fast)\n"
+        assert run("#lang racket\n(displayln (keyword? '#:k))") == "#t\n"
+
+    def test_gensym_distinct(self, run):
+        assert run(
+            "#lang racket\n(displayln (eq? (gensym 'g) (gensym 'g)))"
+        ) == "#f\n"
+
+    def test_string_misc(self, run):
+        assert run(
+            """#lang racket
+(displayln (string #\\a #\\b))
+(displayln (make-string 3 #\\x))
+(displayln (string-join (list "a" "b") "-"))
+(displayln (string-contains? "hello" "ell"))"""
+        ) == "ab\nxxx\na-b\n#t\n"
+
+    def test_char_predicates(self, run):
+        assert run(
+            """#lang racket
+(displayln (list (char-alphabetic? #\\a) (char-numeric? #\\5)
+                 (char-whitespace? #\\space) (char<? #\\a #\\b)))"""
+        ) == "(#t #t #t #t)\n"
+
+    def test_number_predicates_on_floats(self, run):
+        assert run(
+            """#lang racket
+(displayln (list (nan? +nan.0) (infinite? +inf.0) (integer? 3.0)
+                 (exact? 1/2) (inexact? 2.5)))"""
+        ) == "(#t #t #t #t #t)\n"
+
+    def test_numeric_conversions(self, run):
+        assert run(
+            """#lang racket
+(displayln (list (exact->inexact 1/4) (inexact->exact 0.25)
+                 (numerator 3/4) (denominator 3/4) (gcd 12 18)))"""
+        ) == "(0.25 1/4 3 4 6)\n"
+
+    def test_rounding_family(self, run):
+        assert run(
+            """#lang racket
+(displayln (list (floor 3/2) (ceiling 3/2) (round 5/2) (truncate -7/2)))"""
+        ) == "(1 2 2 -3)\n"
+
+    def test_trig_and_transcendental(self, run):
+        assert run(
+            "#lang racket\n(displayln (list (sin 0.0) (cos 0.0) (exp 0.0) (log 1.0)))"
+        ) == "(0.0 1.0 1.0 0.0)\n"
+
+    def test_atan_two_arguments(self, run):
+        assert run("#lang racket\n(displayln (< 0.78 (atan 1.0 1.0) 0.79))") == "#t\n"
+
+    def test_build_and_range(self, run):
+        assert run(
+            """#lang racket
+(displayln (build-list 3 (lambda (i) (* i 10))))
+(displayln (range 2 8 2))"""
+        ) == "(0 10 20)\n(2 4 6)\n"
+
+    def test_last_and_list_tail(self, run):
+        assert run(
+            """#lang racket
+(displayln (list (last '(1 2 3)) (list-tail '(1 2 3) 1)))"""
+        ) == "(3 (2 3))\n"
+
+    def test_vector_misc(self, run):
+        assert run(
+            """#lang racket
+(define v (make-vector 3 1))
+(vector-fill! v 7)
+(displayln (vector->list v))
+(displayln (vector->list (vector-map add1 v)))
+(displayln (vector->list (vector-copy v)))"""
+        ) == "(7 7 7)\n(8 8 8)\n(7 7 7)\n"
+
+    def test_sequence_to_list_rejects_non_sequences(self, run):
+        with pytest.raises(WrongTypeError):
+            run("#lang racket\n(sequence->list 42)")
+
+    def test_sort_stability_via_cmp(self, run):
+        assert run(
+            """#lang racket
+(displayln (sort (list 3 1 2 1) <))"""
+        ) == "(1 1 2 3)\n"
+
+    def test_number_string_roundtrip(self, run):
+        assert run(
+            """#lang racket
+(displayln (string->number (number->string 3/7)))
+(displayln (string->number (number->string 2.5)))"""
+        ) == "3/7\n2.5\n"

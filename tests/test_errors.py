@@ -1,0 +1,122 @@
+"""Tests for error reporting: source locations, messages, exception types."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    ContractViolation,
+    ReaderError,
+    ReproError,
+    RuntimeReproError,
+    SyntaxExpansionError,
+    TypeCheckError,
+    UnboundIdentifierError,
+    WrongTypeError,
+)
+from repro.reader import read_string_all
+
+
+class TestHierarchy:
+    def test_all_errors_are_repro_errors(self):
+        for cls in (
+            ReaderError, SyntaxExpansionError, UnboundIdentifierError,
+            TypeCheckError, ContractViolation, RuntimeReproError, WrongTypeError,
+        ):
+            assert issubclass(cls, ReproError)
+
+    def test_unbound_is_expansion_error(self):
+        assert issubclass(UnboundIdentifierError, SyntaxExpansionError)
+
+    def test_wrong_type_is_runtime_error(self):
+        assert issubclass(WrongTypeError, RuntimeReproError)
+
+
+class TestReaderLocations:
+    def test_error_carries_location(self):
+        with pytest.raises(ReaderError) as exc:
+            read_string_all("(a\n  (b", source="prog.rkt")
+        assert exc.value.srcloc is not None
+        assert exc.value.srcloc.source == "prog.rkt"
+
+    def test_location_in_message(self):
+        with pytest.raises(ReaderError) as exc:
+            read_string_all('"unterminated', source="f.rkt")
+        assert "f.rkt:1" in str(exc.value)
+
+
+class TestExpansionLocations:
+    def test_unbound_identifier_points_at_use(self, run):
+        with pytest.raises(UnboundIdentifierError) as exc:
+            run("#lang racket\n\n(+ 1 mystery)")
+        assert exc.value.srcloc is not None
+        assert exc.value.srcloc.line == 3
+        assert "mystery" in str(exc.value)
+
+    def test_bad_syntax_shows_offending_form(self, run):
+        with pytest.raises(SyntaxExpansionError) as exc:
+            run("#lang racket\n(let bad-shape)")
+        assert "let" in str(exc.value)
+
+    def test_duplicate_definition_mentions_name(self, run):
+        with pytest.raises(SyntaxExpansionError, match="duplicate definition of dup"):
+            run("#lang racket\n(define dup 1)\n(define dup 2)")
+
+
+class TestTypeErrorMessages:
+    def test_shows_expected_and_actual(self, run):
+        with pytest.raises(TypeCheckError) as exc:
+            run('#lang typed\n(define x : Integer "s")')
+        message = str(exc.value)
+        assert "Integer" in message and "String" in message
+
+    def test_shows_offending_expression(self, run):
+        with pytest.raises(TypeCheckError) as exc:
+            run("#lang simple-type\n(define x : Integer 3.7)")
+        assert "3.7" in str(exc.value)
+
+    def test_unknown_type_names_the_type(self, run):
+        with pytest.raises(TypeCheckError, match="Bogus"):
+            run("#lang typed\n(define x : Bogus 1)")
+
+    def test_application_arity_message(self, run):
+        with pytest.raises(TypeCheckError, match="wrong number of arguments"):
+            run(
+                """#lang typed
+(: f (Integer -> Integer))
+(define (f x) x)
+(f 1 2)"""
+            )
+
+
+class TestRuntimeErrorMessages:
+    def test_wrong_type_names_primitive_and_value(self, run):
+        with pytest.raises(WrongTypeError) as exc:
+            run("#lang racket\n(car 42)")
+        message = str(exc.value)
+        assert "car" in message and "pair?" in message and "42" in message
+
+    def test_division_by_zero(self, run):
+        with pytest.raises(WrongTypeError, match="non-zero"):
+            run("#lang racket\n(/ 1 0)")
+
+    def test_vector_bounds_message(self, run):
+        with pytest.raises(RuntimeReproError, match="out of range"):
+            run("#lang racket\n(vector-ref (vector 1 2) 5)")
+
+    def test_undefined_before_definition(self, run):
+        with pytest.raises(RuntimeReproError, match="referenced before definition"):
+            run("#lang racket\n(displayln later)\n(define later 1)")
+
+    def test_contract_message_has_blame(self, rt):
+        rt.register_module(
+            "server",
+            "#lang simple-type\n(define (f [x : Integer]) : Integer x)\n(provide f)",
+        )
+        rt.register_module("client", '#lang racket\n(require server)\n(f "s")')
+        with pytest.raises(ContractViolation) as exc:
+            rt.run("client")
+        assert "blaming" in str(exc.value)
+        # the defensive wrapper is built at the server's definition site,
+        # where the specific client is unknown: the paper's placeholder name
+        assert exc.value.blame == "untyped-client"

@@ -1,0 +1,320 @@
+"""Tests for the hygienic expander, via whole racket programs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    RuntimeReproError,
+    SyntaxExpansionError,
+    UnboundIdentifierError,
+)
+
+
+class TestBasicExpressions:
+    def test_literals(self, run):
+        assert run("#lang racket\n(displayln 42)") == "42\n"
+
+    def test_application(self, run):
+        assert run("#lang racket\n(displayln (+ 1 2))") == "3\n"
+
+    def test_lambda_application(self, run):
+        assert run("#lang racket\n(displayln ((lambda (x) (* x x)) 7))") == "49\n"
+
+    def test_rest_arguments(self, run):
+        assert run(
+            "#lang racket\n(define (f a . rest) (cons a rest))\n(displayln (f 1 2 3))"
+        ) == "(1 2 3)\n"
+
+    def test_rest_only(self, run):
+        assert run(
+            "#lang racket\n(define f (lambda args (length args)))\n(displayln (f 1 2 3))"
+        ) == "3\n"
+
+    def test_if_false_branch(self, run):
+        assert run("#lang racket\n(displayln (if #f 1 2))") == "2\n"
+
+    def test_only_false_is_false(self, run):
+        assert run("#lang racket\n(displayln (if 0 'yes 'no))") == "yes\n"
+
+    def test_begin_sequencing(self, run):
+        assert run("#lang racket\n(displayln (begin 1 2 3))") == "3\n"
+
+    def test_set_bang(self, run):
+        assert run(
+            "#lang racket\n(define x 1)\n(set! x 99)\n(displayln x)"
+        ) == "99\n"
+
+    def test_unbound_identifier(self, run):
+        with pytest.raises(UnboundIdentifierError):
+            run("#lang racket\n(no-such-variable)")
+
+    def test_core_form_as_variable_rejected(self, run):
+        with pytest.raises(SyntaxExpansionError):
+            run("#lang racket\n(displayln if)")
+
+    def test_empty_application_rejected(self, run):
+        with pytest.raises(SyntaxExpansionError):
+            run("#lang racket\n()")
+
+
+class TestBindingForms:
+    def test_let(self, run):
+        assert run("#lang racket\n(displayln (let ([x 1] [y 2]) (+ x y)))") == "3\n"
+
+    def test_let_shadows(self, run):
+        assert run(
+            "#lang racket\n(define x 'outer)\n(displayln (let ([x 'inner]) x))"
+        ) == "inner\n"
+
+    def test_let_rhs_sees_outer(self, run):
+        assert run(
+            "#lang racket\n(define x 1)\n(displayln (let ([x (+ x 1)]) x))"
+        ) == "2\n"
+
+    def test_let_star(self, run):
+        assert run(
+            "#lang racket\n(displayln (let* ([x 1] [y (+ x 1)]) (* x y)))"
+        ) == "2\n"
+
+    def test_letrec(self, run):
+        assert run(
+            """#lang racket
+(displayln (letrec ([even? (lambda (n) (if (= n 0) #t (odd? (- n 1))))]
+                    [odd? (lambda (n) (if (= n 0) #f (even? (- n 1))))])
+  (even? 10)))"""
+        ) == "#t\n"
+
+    def test_named_let(self, run):
+        assert run(
+            """#lang racket
+(displayln (let loop ([i 0] [acc '()])
+  (if (= i 3) (reverse acc) (loop (+ i 1) (cons i acc)))))"""
+        ) == "(0 1 2)\n"
+
+    def test_let_values(self, run):
+        assert run(
+            "#lang racket\n(displayln (let-values ([(a b) (values 1 2)]) (+ a b)))"
+        ) == "3\n"
+
+    def test_duplicate_formals_rejected(self, run):
+        with pytest.raises(SyntaxExpansionError):
+            run("#lang racket\n(lambda (x x) x)")
+
+    def test_internal_definitions(self, run):
+        assert run(
+            """#lang racket
+(define (f)
+  (define a 1)
+  (define b (+ a 1))
+  (+ a b))
+(displayln (f))"""
+        ) == "3\n"
+
+    def test_internal_definitions_mutual_recursion(self, run):
+        assert run(
+            """#lang racket
+(define (f n)
+  (define (my-even? n) (if (= n 0) #t (my-odd? (- n 1))))
+  (define (my-odd? n) (if (= n 0) #f (my-even? (- n 1))))
+  (my-even? n))
+(displayln (f 8))"""
+        ) == "#t\n"
+
+    def test_internal_definitions_preserve_order(self, run):
+        assert run(
+            """#lang racket
+(define (f)
+  (define a 1)
+  (display "side")
+  (define b 2)
+  (+ a b))
+(displayln (f))"""
+        ) == "side3\n"
+
+    def test_body_with_no_expression_rejected(self, run):
+        with pytest.raises(SyntaxExpansionError):
+            run("#lang racket\n(define (f) (define x 1))\n(f)")
+
+
+class TestHygiene:
+    def test_introduced_binding_does_not_capture(self, run):
+        # `or` expands to (let ((t e)) ...); user's t must be untouched
+        assert run(
+            "#lang racket\n(define t 'user)\n(displayln (or #f t))"
+        ) == "user\n"
+
+    def test_user_binding_does_not_shadow_macro_reference(self, run):
+        # swap! uses let/set!; binding `let` locally must not break it…
+        # (here: a user variable named tmp, same name as the macro's temp)
+        assert run(
+            """#lang racket
+(define-syntax swap! (syntax-rules () [(_ a b) (let ([tmp a]) (set! a b) (set! b tmp))]))
+(define tmp 1)
+(define other 2)
+(swap! tmp other)
+(displayln (list tmp other))"""
+        ) == "(2 1)\n"
+
+    def test_paper_do_10_times_hygiene(self, run):
+        # §2.1: "if the bodys use the variable i, it is not interfered with
+        # by the use of i in the for loop"
+        assert run(
+            """#lang racket
+(define-syntax do-3-times
+  (syntax-rules () [(_ body ...) (for ([i (in-range 3)]) body ...)]))
+(define i 'mine)
+(do-3-times (display i))
+(newline)"""
+        ) == "mineminemine\n"
+
+    def test_nested_macro_expansions_independent(self, run):
+        assert run(
+            """#lang racket
+(define-syntax double (syntax-rules () [(_ e) (let ([v e]) (+ v v))]))
+(displayln (double (double 3)))"""
+        ) == "12\n"
+
+    def test_macro_defining_macro(self, run):
+        assert run(
+            """#lang racket
+(define-syntax def-constant
+  (syntax-rules () [(_ name val) (define-syntax name (syntax-rules () [(_) val]))]))
+(def-constant five 5)
+(displayln (five))"""
+        ) == "5\n"
+
+
+class TestModuleLevel:
+    def test_forward_reference_in_function_body(self, run):
+        assert run(
+            """#lang racket
+(define (f) (g))
+(define (g) 'late)
+(displayln (f))"""
+        ) == "late\n"
+
+    def test_duplicate_module_definition_rejected(self, run):
+        with pytest.raises(SyntaxExpansionError):
+            run("#lang racket\n(define x 1)\n(define x 2)")
+
+    def test_module_level_begin_splices(self, run):
+        # the defined names come from the use site, so they are visible to
+        # user code (macro-introduced names would hygienically stay private)
+        assert run(
+            """#lang racket
+(define-syntax defs
+  (syntax-rules () [(_ x y) (begin (define x 1) (define y 2))]))
+(defs a b)
+(displayln (+ a b))"""
+        ) == "3\n"
+
+    def test_macro_introduced_module_definition_is_private(self, run):
+        # sets-of-scopes hygiene: a definition whose name the macro
+        # introduced is not visible to user-written references
+        with pytest.raises(UnboundIdentifierError):
+            run(
+                """#lang racket
+(define-syntax defs
+  (syntax-rules () [(_) (define hidden-by-hygiene 1)]))
+(defs)
+(displayln hidden-by-hygiene)"""
+            )
+
+    def test_use_before_define_at_runtime_rejected(self, run):
+        with pytest.raises(RuntimeReproError):
+            run("#lang racket\n(displayln undefined-until-later)\n(define undefined-until-later 5)")
+
+
+class TestIdentifierMacros:
+    def test_identifier_macro_in_expression_position(self, run):
+        assert run(
+            """#lang racket
+(define hidden 42)
+(define-syntax the-answer (lambda (stx) (quote-syntax hidden)))
+(displayln the-answer)"""
+        ) == "42\n"
+
+
+class TestLocalExpand:
+    def test_paper_only_lambda_accepts_lambda(self, run):
+        # §2.2's only-λ example: local-expand sees through macros
+        assert run(
+            """#lang racket
+(define-syntax (only-lambda stx)
+  (define c (local-expand (car (cdr (syntax-e stx))) 'expression '()))
+  (define k (car (syntax-e c)))
+  (if (free-identifier=? (quote-syntax #%plain-lambda) k)
+      c
+      (raise-syntax-error 'only-lambda "not a lambda" stx)))
+(displayln (procedure? (only-lambda (lambda (x) x))))"""
+        ) == "#t\n"
+
+    def test_paper_only_lambda_sees_through_macros(self, run):
+        assert run(
+            """#lang racket
+(define-syntax function (syntax-rules () [(_ args body) (lambda args body)]))
+(define-syntax (only-lambda stx)
+  (define c (local-expand (car (cdr (syntax-e stx))) 'expression '()))
+  (define k (car (syntax-e c)))
+  (if (free-identifier=? (quote-syntax #%plain-lambda) k)
+      c
+      (raise-syntax-error 'only-lambda "not a lambda" stx)))
+(displayln (procedure? (only-lambda (function (x) x))))"""
+        ) == "#t\n"
+
+    def test_paper_only_lambda_rejects_non_lambda(self, run):
+        with pytest.raises(SyntaxExpansionError):
+            run(
+                """#lang racket
+(define-syntax (only-lambda stx)
+  (define c (local-expand (car (cdr (syntax-e stx))) 'expression '()))
+  (define k (car (syntax-e c)))
+  (if (free-identifier=? (quote-syntax #%plain-lambda) k)
+      c
+      (raise-syntax-error 'only-lambda "not a lambda" stx)))
+(only-lambda 7)"""
+            )
+
+
+class TestProceduralMacros:
+    def test_paper_when_compiled(self, run):
+        # §2.1: compile-time clock capture; at runtime the value is fixed
+        out = run(
+            """#lang racket
+(define-syntax (when-compiled stx)
+  (datum->syntax stx (list (quote-syntax quote) (datum->syntax stx (current-seconds)))))
+(define t1 (when-compiled))
+(define t2 (when-compiled))
+(displayln (and (exact-integer? t1) (= t1 t2)))"""
+        )
+        assert out == "#t\n"
+
+    def test_transformer_computes_from_input(self, run):
+        assert run(
+            """#lang racket
+(define-syntax (count-args stx)
+  (datum->syntax stx (list (quote-syntax quote)
+                           (datum->syntax stx (- (length (syntax-e stx)) 1)))))
+(displayln (count-args a b c))"""
+        ) == "3\n"
+
+    def test_syntax_property_roundtrip_through_transformers(self, run):
+        assert run(
+            """#lang racket
+(define-syntax (stash stx)
+  (syntax-property-put (car (cdr (syntax-e stx))) 'mark 'here))
+(define-syntax (retrieve stx)
+  (datum->syntax stx
+    (list (quote-syntax quote)
+          (datum->syntax stx (syntax-property-get (local-expand (car (cdr (syntax-e stx))) 'expression '()) 'mark)))))
+(displayln 'ok)"""
+        ) == "ok\n"
+
+    def test_transformer_returning_non_syntax_rejected(self, run):
+        with pytest.raises(SyntaxExpansionError):
+            run(
+                """#lang racket
+(define-syntax (bad stx) 42)
+(bad)"""
+            )

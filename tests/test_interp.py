@@ -1,0 +1,180 @@
+"""Tests for the evaluator: tail calls, arity, multiple values, control."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ArityError, RuntimeReproError
+
+
+class TestTailCalls:
+    def test_deep_tail_recursion(self, run):
+        # far past any Python recursion limit: requires proper tail calls
+        assert run(
+            """#lang racket
+(define (count n acc) (if (= n 0) acc (count (- n 1) (+ acc 1))))
+(displayln (count 100000 0))"""
+        ) == "100000\n"
+
+    def test_mutual_tail_recursion(self, run):
+        assert run(
+            """#lang racket
+(define (even-steps n) (if (= n 0) 'even (odd-steps (- n 1))))
+(define (odd-steps n) (if (= n 0) 'odd (even-steps (- n 1))))
+(displayln (even-steps 50001))"""
+        ) == "odd\n"
+
+    def test_tail_position_through_let(self, run):
+        assert run(
+            """#lang racket
+(define (loop n) (if (= n 0) 'done (let ([m (- n 1)]) (loop m))))
+(displayln (loop 60000))"""
+        ) == "done\n"
+
+    def test_tail_position_through_cond_and_begin(self, run):
+        assert run(
+            """#lang racket
+(define (loop n)
+  (cond [(= n 0) 'done]
+        [else (begin (void) (loop (- n 1)))]))
+(displayln (loop 60000))"""
+        ) == "done\n"
+
+    def test_non_tail_recursion_still_works(self, run):
+        assert run(
+            """#lang racket
+(define (sum n) (if (= n 0) 0 (+ n (sum (- n 1)))))
+(displayln (sum 500))"""
+        ) == "125250\n"
+
+
+class TestArity:
+    def test_too_few_arguments(self, run):
+        with pytest.raises(ArityError):
+            run("#lang racket\n((lambda (a b) a) 1)")
+
+    def test_too_many_arguments(self, run):
+        with pytest.raises(ArityError):
+            run("#lang racket\n((lambda (a) a) 1 2)")
+
+    def test_rest_arity_minimum(self, run):
+        with pytest.raises(ArityError):
+            run("#lang racket\n((lambda (a . rest) a))")
+
+    def test_primitive_arity(self, run):
+        with pytest.raises(ArityError):
+            run("#lang racket\n(cons 1)")
+
+    def test_applying_non_procedure(self, run):
+        with pytest.raises(RuntimeReproError):
+            run("#lang racket\n(5 6)")
+
+
+class TestValues:
+    def test_multiple_values_through_let_values(self, run):
+        assert run(
+            """#lang racket
+(define (two) (values 1 2))
+(displayln (let-values ([(a b) (two)]) (list a b)))"""
+        ) == "(1 2)\n"
+
+    def test_define_values_multiple(self, run):
+        assert run(
+            "#lang racket\n(define-values (a b c) (values 1 2 3))\n(displayln (+ a b c))"
+        ) == "6\n"
+
+    def test_call_with_values(self, run):
+        assert run(
+            "#lang racket\n(displayln (call-with-values (lambda () (values 1 2)) +))"
+        ) == "3\n"
+
+    def test_single_value_is_plain(self, run):
+        assert run("#lang racket\n(displayln (values 7))") == "7\n"
+
+    def test_value_count_mismatch(self, run):
+        with pytest.raises(RuntimeReproError):
+            run("#lang racket\n(define-values (a b) (values 1))")
+
+    def test_values_where_one_expected(self, run):
+        with pytest.raises(RuntimeReproError):
+            run("#lang racket\n(define x (values 1 2))")
+
+
+class TestApplyAndControl:
+    def test_apply(self, run):
+        assert run("#lang racket\n(displayln (apply + 1 (list 2 3)))") == "6\n"
+
+    def test_apply_with_closure(self, run):
+        assert run(
+            "#lang racket\n(displayln (apply (lambda (a b) (* a b)) (list 6 7)))"
+        ) == "42\n"
+
+    def test_error_raises(self, run):
+        with pytest.raises(RuntimeReproError, match="boom"):
+            run('#lang racket\n(error "boom")')
+
+    def test_error_with_symbol_who(self, run):
+        with pytest.raises(RuntimeReproError, match="my-fn: bad input"):
+            run('#lang racket\n(error \'my-fn "bad input")')
+
+    def test_letrec_use_before_init_detected(self, run):
+        with pytest.raises(RuntimeReproError):
+            run("#lang racket\n(displayln (letrec ([x (+ x 1)]) x))")
+
+
+class TestClosures:
+    def test_closure_captures_environment(self, run):
+        assert run(
+            """#lang racket
+(define (make-adder n) (lambda (x) (+ x n)))
+(define add3 (make-adder 3))
+(displayln (add3 4))"""
+        ) == "7\n"
+
+    def test_closures_share_mutable_state(self, run):
+        assert run(
+            """#lang racket
+(define (make-counter)
+  (define n (box 0))
+  (lambda () (set-box! n (+ 1 (unbox n))) (unbox n)))
+(define c (make-counter))
+(c) (c)
+(displayln (c))"""
+        ) == "3\n"
+
+    def test_set_bang_on_captured_variable(self, run):
+        assert run(
+            """#lang racket
+(define (make-counter)
+  (let ([n 0])
+    (lambda () (set! n (+ n 1)) n)))
+(define c (make-counter))
+(c) (c)
+(displayln (c))"""
+        ) == "3\n"
+
+    def test_distinct_closure_instances(self, run):
+        assert run(
+            """#lang racket
+(define (make-counter) (let ([n 0]) (lambda () (set! n (+ n 1)) n)))
+(define c1 (make-counter))
+(define c2 (make-counter))
+(c1) (c1)
+(displayln (list (c1) (c2)))"""
+        ) == "(3 1)\n"
+
+
+class TestShadowingPrimitives:
+    def test_user_can_shadow_primitive(self, run):
+        assert run(
+            """#lang racket
+(define (use-plus +) (+ 10 20))
+(displayln (use-plus -))"""
+        ) == "-10\n"
+
+    def test_module_level_redefinition_of_primitive_name(self, run):
+        assert run(
+            """#lang racket
+(define my-car car)
+(displayln (my-car (list 1 2)))"""
+        ) == "1\n"

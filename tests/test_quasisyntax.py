@@ -1,0 +1,123 @@
+"""Tests for quasisyntax (#`) / unsyntax (#,) — procedural macro templates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SyntaxExpansionError
+
+
+class TestBasicTemplates:
+    def test_pure_template_is_like_quote_syntax(self, run):
+        assert run(
+            """#lang racket
+(define-syntax (five stx) #`5)
+(displayln (five))"""
+        ) == "5\n"
+
+    def test_unsyntax_splices_computed_syntax(self, run):
+        assert run(
+            """#lang racket
+(define-syntax (when-compiled stx)
+  #`(quote #,(current-seconds)))
+(displayln (exact-integer? (when-compiled)))"""
+        ) == "#t\n"
+
+    def test_unsyntax_of_subform(self, run):
+        assert run(
+            """#lang racket
+(define-syntax (twice stx)
+  (define e (car (cdr (syntax-e stx))))
+  #`(begin #,e #,e))
+(twice (display "x"))
+(newline)"""
+        ) == "xx\n"
+
+    def test_unsyntax_splicing(self, run):
+        assert run(
+            """#lang racket
+(define-syntax (sum-args stx)
+  #`(+ #,@(cdr (syntax-e stx))))
+(displayln (sum-args 1 2 3 4))"""
+        ) == "10\n"
+
+    def test_unsyntax_coerces_plain_data(self, run):
+        assert run(
+            """#lang racket
+(define-syntax (arg-count stx)
+  #`(quote #,(length (syntax-e stx))))
+(displayln (arg-count a b c))"""
+        ) == "4\n"
+
+    def test_nested_structure(self, run):
+        assert run(
+            """#lang racket
+(define-syntax (make-pair stx)
+  (define parts (syntax-e stx))
+  #`(cons #,(car (cdr parts)) (list #,(car (cdr (cdr parts))) 99)))
+(displayln (make-pair 1 2))"""
+        ) == "(1 2 99)\n"
+
+    def test_hygiene_of_template_identifiers(self, run):
+        # `tmp` in the template does not capture the user's `tmp`
+        assert run(
+            """#lang racket
+(define-syntax (with-tmp stx)
+  #`(let ([tmp 42]) #,(car (cdr (syntax-e stx)))))
+(define tmp 'user)
+(displayln (with-tmp tmp))"""
+        ) == "user\n"
+
+    def test_bad_quasisyntax_shape(self, run):
+        with pytest.raises(SyntaxExpansionError):
+            run("#lang racket\n(define-syntax (f stx) (quasisyntax))\n(f)")
+
+
+class TestPaperStyleMacros:
+    def test_define_colon_reimplemented_in_object_language(self, run):
+        """§3.1's define: — annotation via syntax-property-put — written as
+        an object-language macro in a simple-type module, composing with the
+        Python-implemented typechecker."""
+        assert run(
+            """#lang simple-type
+(define-syntax (my-define: stx)
+  (define parts (syntax-e stx))
+  (define name (car (cdr parts)))
+  (define ty (car (cdr (cdr (cdr parts)))))
+  (define rhs (car (cdr (cdr (cdr (cdr parts))))))
+  #`(define-values (#,(syntax-property-put name 'type-annotation ty)) #,rhs))
+(my-define: x : Integer 41)
+(displayln (+ x 1))"""
+        ) == "42\n"
+
+    def test_object_language_define_colon_still_typechecks(self, run):
+        from repro.errors import TypeCheckError
+
+        with pytest.raises(TypeCheckError):
+            run(
+                """#lang simple-type
+(define-syntax (my-define: stx)
+  (define parts (syntax-e stx))
+  (define name (car (cdr parts)))
+  (define ty (car (cdr (cdr (cdr parts)))))
+  (define rhs (car (cdr (cdr (cdr (cdr parts))))))
+  #`(define-values (#,(syntax-property-put name 'type-annotation ty)) #,rhs))
+(my-define: x : Integer 3.7)"""
+            )
+
+    def test_paper_let_colon_rewrite_rule(self, run):
+        """§3.1's let: rewrite — (let: ([x : T rhs]) body) as a library
+        macro over lambda:, 'preserving the specified type information'."""
+        assert run(
+            """#lang simple-type
+(define-syntax (my-let: stx)
+  (define parts (syntax-e stx))
+  (define clause (car (syntax-e (car (cdr parts)))))
+  (define body (car (cdr (cdr parts))))
+  (define cparts (syntax-e clause))
+  (define x (car cparts))
+  (define ty (car (cdr (cdr cparts))))
+  (define rhs (car (cdr (cdr (cdr cparts)))))
+  #`((lambda: ([#,x : #,ty]) #,body) #,rhs))
+(displayln (my-let: ([y : Integer 20]) (+ y 2)))"""
+        ) == "22\n"

@@ -1,0 +1,360 @@
+"""Tests for the racket language's surface macro library."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RuntimeReproError, SyntaxExpansionError
+
+
+class TestConditionals:
+    def test_cond_first_match(self, run):
+        assert run(
+            "#lang racket\n(displayln (cond [#f 'a] [#t 'b] [else 'c]))"
+        ) == "b\n"
+
+    def test_cond_else(self, run):
+        assert run("#lang racket\n(displayln (cond [#f 'a] [else 'c]))") == "c\n"
+
+    def test_cond_no_match_is_void(self, run):
+        assert run("#lang racket\n(cond [#f 'a])\n(displayln 'done)") == "done\n"
+
+    def test_cond_test_only_clause_returns_test_value(self, run):
+        assert run("#lang racket\n(displayln (cond [#f] [42] [else 'no]))") == "42\n"
+
+    def test_cond_else_must_be_last(self, run):
+        with pytest.raises(SyntaxExpansionError):
+            run("#lang racket\n(cond [else 1] [#t 2])")
+
+    def test_case(self, run):
+        assert run(
+            """#lang racket
+(define (classify x) (case x [(1 2 3) 'small] [(10 20) 'round] [else 'other]))
+(displayln (list (classify 2) (classify 20) (classify 99)))"""
+        ) == "(small round other)\n"
+
+    def test_case_on_symbols(self, run):
+        assert run(
+            "#lang racket\n(displayln (case 'b [(a) 1] [(b) 2] [else 3]))"
+        ) == "2\n"
+
+    def test_when_true(self, run):
+        assert run("#lang racket\n(when #t (display 'yes))\n(newline)") == "yes\n"
+
+    def test_when_false(self, run):
+        assert run("#lang racket\n(when #f (display 'no))\n(displayln 'after)") == "after\n"
+
+    def test_unless(self, run):
+        assert run("#lang racket\n(unless #f (display 'yes))\n(newline)") == "yes\n"
+
+    def test_and(self, run):
+        assert run("#lang racket\n(displayln (list (and) (and 1 2) (and #f 2)))") == "(#t 2 #f)\n"
+
+    def test_and_short_circuits(self, run):
+        assert run(
+            "#lang racket\n(and #f (error \"not reached\"))\n(displayln 'ok)"
+        ) == "ok\n"
+
+    def test_or(self, run):
+        assert run("#lang racket\n(displayln (list (or) (or #f 2) (or 1 2)))") == "(#f 2 1)\n"
+
+    def test_or_short_circuits(self, run):
+        assert run(
+            "#lang racket\n(displayln (or 'first (error \"not reached\")))"
+        ) == "first\n"
+
+
+class TestLoops:
+    def test_do_loop(self, run):
+        assert run(
+            """#lang racket
+(displayln (do ([i 0 (+ i 1)] [acc 1 (* acc 2)])
+               ((= i 5) acc)))"""
+        ) == "32\n"
+
+    def test_do_loop_with_body(self, run):
+        assert run(
+            """#lang racket
+(do ([i 0 (+ i 1)]) ((= i 3)) (display i))
+(newline)"""
+        ) == "012\n"
+
+    def test_do_without_step_keeps_value(self, run):
+        assert run(
+            """#lang racket
+(displayln (do ([x 7] [i 0 (+ i 1)]) ((= i 2) x)))"""
+        ) == "7\n"
+
+    def test_for_over_range(self, run):
+        assert run(
+            "#lang racket\n(for ([i (in-range 3)]) (display i))\n(newline)"
+        ) == "012\n"
+
+    def test_for_over_list(self, run):
+        assert run(
+            "#lang racket\n(for ([x (list 'a 'b)]) (display x))\n(newline)"
+        ) == "ab\n"
+
+    def test_for_over_vector(self, run):
+        assert run(
+            "#lang racket\n(for ([x (vector 1 2 3)]) (display x))\n(newline)"
+        ) == "123\n"
+
+    def test_for_list(self, run):
+        assert run(
+            "#lang racket\n(displayln (for/list ([x (in-range 4)]) (* x x)))"
+        ) == "(0 1 4 9)\n"
+
+
+class TestQuasiquote:
+    def test_plain(self, run):
+        assert run("#lang racket\n(displayln `(1 2 3))") == "(1 2 3)\n"
+
+    def test_unquote(self, run):
+        assert run("#lang racket\n(displayln `(1 ,(+ 1 1) 3))") == "(1 2 3)\n"
+
+    def test_unquote_splicing(self, run):
+        assert run(
+            "#lang racket\n(displayln `(0 ,@(list 1 2) 3))"
+        ) == "(0 1 2 3)\n"
+
+    def test_nested_quasiquote_preserves_inner(self, run):
+        assert run(
+            "#lang racket\n(displayln `(a `(b ,(c))))"
+        ) == "(a (quasiquote (b (unquote (c)))))\n"
+
+    def test_dotted(self, run):
+        assert run("#lang racket\n(displayln `(1 . ,(+ 1 1)))") == "(1 . 2)\n"
+
+    def test_deep_structure(self, run):
+        assert run(
+            "#lang racket\n(displayln `((a ,(+ 1 2)) (b ,@(list 4 5))))"
+        ) == "((a 3) (b 4 5))\n"
+
+
+class TestMatch:
+    def test_paper_example(self, run):
+        # §3.2's match example, verbatim modulo lexical details
+        assert run(
+            """#lang racket
+(displayln (match (list 1 2 3)
+  [(list x y z) (+ x y z)]))"""
+        ) == "6\n"
+
+    def test_literal_patterns(self, run):
+        assert run(
+            """#lang racket
+(define (f x) (match x [0 'zero] [1 'one] [_ 'many]))
+(displayln (list (f 0) (f 1) (f 5)))"""
+        ) == "(zero one many)\n"
+
+    def test_cons_pattern(self, run):
+        assert run(
+            "#lang racket\n(displayln (match (cons 1 2) [(cons a b) (+ a b)]))"
+        ) == "3\n"
+
+    def test_quote_pattern(self, run):
+        assert run(
+            """#lang racket
+(displayln (match 'hello ['world 'no] ['hello 'yes]))"""
+        ) == "yes\n"
+
+    def test_vector_pattern(self, run):
+        assert run(
+            "#lang racket\n(displayln (match (vector 1 2) [(vector a b) (* a b)]))"
+        ) == "2\n"
+
+    def test_vector_pattern_length_mismatch_falls_through(self, run):
+        assert run(
+            "#lang racket\n(displayln (match (vector 1) [(vector a b) 'two] [_ 'other]))"
+        ) == "other\n"
+
+    def test_predicate_pattern(self, run):
+        assert run(
+            """#lang racket
+(define (f x) (match x [(? number? n) (list 'num n)] [_ 'other]))
+(displayln (list (f 3) (f 'a)))"""
+        ) == "((num 3) other)\n"
+
+    def test_nested_patterns(self, run):
+        assert run(
+            """#lang racket
+(displayln (match (list 1 (list 2 3))
+  [(list a (list b c)) (+ a (* b c))]))"""
+        ) == "7\n"
+
+    def test_no_clause_matches_raises(self, run):
+        with pytest.raises(RuntimeReproError):
+            run("#lang racket\n(match 5 [(list) 'nope])")
+
+    def test_clauses_tried_in_order(self, run):
+        assert run(
+            """#lang racket
+(displayln (match (list 1 2)
+  [(list a) 'one]
+  [(list a b) 'two]
+  [_ 'other]))"""
+        ) == "two\n"
+
+    def test_recursive_function_with_match(self, run):
+        assert run(
+            """#lang racket
+(define (sum-tree t)
+  (match t
+    [(list l r) (+ (sum-tree l) (sum-tree r))]
+    [(? number? n) n]))
+(displayln (sum-tree (list (list 1 2) (list 3 (list 4 5)))))"""
+        ) == "15\n"
+
+
+class TestListLibrary:
+    def test_map_two_lists(self, run):
+        assert run(
+            "#lang racket\n(displayln (map + (list 1 2) (list 10 20)))"
+        ) == "(11 22)\n"
+
+    def test_filter(self, run):
+        assert run(
+            "#lang racket\n(displayln (filter even? (list 1 2 3 4)))"
+        ) == "(2 4)\n"
+
+    def test_foldl(self, run):
+        assert run(
+            "#lang racket\n(displayln (foldl cons '() (list 1 2 3)))"
+        ) == "(3 2 1)\n"
+
+    def test_foldr(self, run):
+        assert run(
+            "#lang racket\n(displayln (foldr cons '() (list 1 2 3)))"
+        ) == "(1 2 3)\n"
+
+    def test_sort(self, run):
+        assert run(
+            "#lang racket\n(displayln (sort (list 3 1 2) <))"
+        ) == "(1 2 3)\n"
+
+    def test_assoc_and_member(self, run):
+        assert run(
+            """#lang racket
+(displayln (assoc 'b (list (cons 'a 1) (cons 'b 2))))
+(displayln (member 2 (list 1 2 3)))
+(displayln (memq 'x (list 1 2)))"""
+        ) == "(b . 2)\n(2 3)\n#f\n"
+
+    def test_append_variadic(self, run):
+        assert run(
+            "#lang racket\n(displayln (append (list 1) (list 2) (list 3)))"
+        ) == "(1 2 3)\n"
+
+    def test_andmap_ormap(self, run):
+        assert run(
+            """#lang racket
+(displayln (andmap even? (list 2 4)))
+(displayln (ormap odd? (list 2 4)))"""
+        ) == "#t\n#f\n"
+
+
+class TestHashesAndBoxes:
+    def test_hash_operations(self, run):
+        assert run(
+            """#lang racket
+(define h (make-hash))
+(hash-set! h 'a 1)
+(hash-set! h 'b 2)
+(displayln (list (hash-ref h 'a) (hash-count h) (hash-has-key? h 'c)))
+(displayln (hash-ref h 'missing 'default))"""
+        ) == "(1 2 #f)\ndefault\n"
+
+    def test_hash_ref_missing_raises(self, run):
+        with pytest.raises(RuntimeReproError):
+            run("#lang racket\n(hash-ref (make-hash) 'k)")
+
+    def test_boxes(self, run):
+        assert run(
+            """#lang racket
+(define b (box 1))
+(set-box! b (+ (unbox b) 10))
+(displayln (unbox b))"""
+        ) == "11\n"
+
+
+class TestStringsAndChars:
+    def test_string_operations(self, run):
+        assert run(
+            """#lang racket
+(displayln (string-append "foo" "bar"))
+(displayln (substring "hello" 1 3))
+(displayln (string-length "abc"))
+(displayln (string-upcase "abc"))"""
+        ) == "foobar\nel\n3\nABC\n"
+
+    def test_string_conversions(self, run):
+        assert run(
+            """#lang racket
+(displayln (string->symbol "sym"))
+(displayln (symbol->string 'sym))
+(displayln (number->string 3/4))
+(displayln (string->number "2.5"))"""
+        ) == "sym\nsym\n3/4\n2.5\n"
+
+    def test_string_number_parse_failure_is_false(self, run):
+        assert run('#lang racket\n(displayln (string->number "abc"))') == "#f\n"
+
+    def test_char_operations(self, run):
+        assert run(
+            """#lang racket
+(displayln (char->integer #\\A))
+(displayln (integer->char 97))
+(displayln (char-upcase #\\x))"""
+        ) == "65\na\nX\n"
+
+    def test_format(self, run):
+        assert run(
+            '#lang racket\n(displayln (format "x=~a y=~s" 1 "two"))'
+        ) == 'x=1 y="two"\n'
+
+
+class TestCaseLambda:
+    def test_dispatch_on_arity(self, run):
+        assert run(
+            """#lang racket
+(define f (case-lambda
+  [(a) 'one]
+  [(a b) 'two]))
+(displayln (list (f 1) (f 1 2)))"""
+        ) == "(one two)\n"
+
+    def test_rest_clause(self, run):
+        assert run(
+            """#lang racket
+(define f (case-lambda
+  [(a) 'one]
+  [(a . rest) (length rest)]))
+(displayln (list (f 1) (f 1 2 3)))"""
+        ) == "(one 2)\n"
+
+    def test_clause_order_first_match_wins(self, run):
+        assert run(
+            """#lang racket
+(define f (case-lambda
+  [args 'rest-first]
+  [(a) 'never]))
+(displayln (f 1))"""
+        ) == "rest-first\n"
+
+    def test_no_matching_clause_errors(self, run):
+        from repro.errors import RuntimeReproError
+
+        with pytest.raises(RuntimeReproError, match="case-lambda"):
+            run("#lang racket\n((case-lambda [(a b) a]) 1)")
+
+    def test_closure_capture(self, run):
+        assert run(
+            """#lang racket
+(define (make n)
+  (case-lambda
+    [() n]
+    [(delta) (+ n delta)]))
+(define g (make 10))
+(displayln (list (g) (g 5)))"""
+        ) == "(10 15)\n"

@@ -1,0 +1,114 @@
+"""Tests for the REPL tool."""
+
+from __future__ import annotations
+
+from io import StringIO
+
+import pytest
+
+from repro.tools.repl import Repl
+
+
+def drive(*inputs: str, language: str = "racket") -> str:
+    repl = Repl(language)
+    stdin = StringIO("\n".join(inputs) + "\n")
+    stdout = StringIO()
+    repl.run(stdin=stdin, stdout=stdout)
+    return stdout.getvalue()
+
+
+class TestRepl:
+    def test_expression_prints_value(self):
+        assert "3\n" in drive("(+ 1 2)")
+
+    def test_definitions_persist(self):
+        out = drive("(define x 10)", "(* x x)")
+        assert "100\n" in out
+
+    def test_function_definition_and_use(self):
+        out = drive("(define (square n) (* n n))", "(square 12)")
+        assert "144\n" in out
+
+    def test_macro_definition_persists(self):
+        out = drive(
+            "(define-syntax twice (syntax-rules () [(_ e) (begin e e)]))",
+            "(twice (display 'hi))",
+        )
+        assert "hihi" in out
+
+    def test_error_does_not_lose_state(self):
+        out = drive("(define y 7)", "(car '())", "(+ y 1)")
+        assert "error:" in out
+        assert "8\n" in out
+
+    def test_void_results_not_printed(self):
+        out = drive("(void)")
+        assert out.count("repro>") == 2  # prompt before input + final prompt
+        assert "#<void>" not in out
+
+    def test_side_effects_not_repeated(self):
+        # each input re-runs the accumulated module; output diffing must
+        # show each effect only once
+        out = drive('(display "once!")', "(+ 1 1)")
+        assert out.count("once!") == 1
+
+    def test_typed_language_repl(self):
+        out = drive("(define x : Integer 4)", "(+ x 1)", language="typed")
+        assert "5\n" in out
+
+    def test_typed_repl_rejects_type_errors_without_losing_state(self):
+        out = drive(
+            "(define x : Integer 4)",
+            "(define y : Integer 1.5)",
+            "(+ x 1)",
+            language="typed",
+        )
+        assert "error:" in out
+        assert "5\n" in out
+
+    def test_empty_input_ignored(self):
+        out = drive("", "(+ 2 2)")
+        assert "4\n" in out
+
+
+class TestMiscForms:
+    def test_with_handlers_catches(self, run):
+        assert run(
+            """#lang racket
+(displayln (with-handlers ([exn? (lambda (e) 'caught)])
+  (error "boom")))"""
+        ) == "caught\n"
+
+    def test_with_handlers_passes_exn(self, run):
+        assert run(
+            """#lang racket
+(displayln (with-handlers ([exn? exn-message])
+  (error "the message")))"""
+        ) == "the message\n"
+
+    def test_with_handlers_no_error(self, run):
+        assert run(
+            "#lang racket\n(displayln (with-handlers ([exn? (lambda (e) 'no)]) 42))"
+        ) == "42\n"
+
+    def test_with_handlers_reraises_unmatched(self, run):
+        from repro.errors import RuntimeReproError
+
+        with pytest.raises(RuntimeReproError):
+            run(
+                """#lang racket
+(with-handlers ([(lambda (e) #f) (lambda (e) 'never)])
+  (error "still raised"))"""
+            )
+
+    def test_raise_of_exn_value(self, run):
+        assert run(
+            """#lang racket
+(displayln (with-handlers ([exn? exn-message])
+  (raise (with-handlers ([exn? (lambda (e) e)]) (error "wrapped")))))"""
+        ) == "wrapped\n"
+
+    def test_time_returns_value(self, run):
+        out = run("#lang racket\n(displayln (time (+ 20 22)))")
+        assert out.startswith("cpu time:")
+        assert out.endswith("42\n")

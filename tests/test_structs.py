@@ -1,0 +1,159 @@
+"""Tests for structs: the struct/define-struct macros and runtime."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ArityError, SyntaxExpansionError, WrongTypeError
+
+
+class TestBasicStructs:
+    def test_constructor_and_accessors(self, run):
+        assert run(
+            """#lang racket
+(struct point (x y))
+(define p (point 3 4))
+(displayln (list (point-x p) (point-y p)))"""
+        ) == "(3 4)\n"
+
+    def test_predicate(self, run):
+        assert run(
+            """#lang racket
+(struct point (x y))
+(struct color (r g b))
+(define p (point 1 2))
+(displayln (list (point? p) (color? p) (point? 42)))"""
+        ) == "(#t #f #f)\n"
+
+    def test_struct_question(self, run):
+        assert run(
+            """#lang racket
+(struct point (x y))
+(displayln (list (struct? (point 1 2)) (struct? 5)))"""
+        ) == "(#t #f)\n"
+
+    def test_define_struct_prefixes_constructor(self, run):
+        assert run(
+            """#lang racket
+(define-struct posn (x y))
+(define p (make-posn 1 2))
+(displayln (posn-x p))"""
+        ) == "1\n"
+
+    def test_constructor_arity_checked(self, run):
+        with pytest.raises(ArityError):
+            run("#lang racket\n(struct point (x y))\n(point 1)")
+
+    def test_accessor_rejects_wrong_struct(self, run):
+        with pytest.raises(WrongTypeError):
+            run(
+                """#lang racket
+(struct point (x y))
+(struct other (a))
+(point-x (other 1))"""
+            )
+
+    def test_no_fields(self, run):
+        assert run(
+            "#lang racket\n(struct unit ())\n(displayln (unit? (unit)))"
+        ) == "#t\n"
+
+    def test_bad_option_rejected(self, run):
+        with pytest.raises(SyntaxExpansionError):
+            run("#lang racket\n(struct point (x) #:bogus)")
+
+
+class TestMutableStructs:
+    def test_setters(self, run):
+        assert run(
+            """#lang racket
+(struct cell (value) #:mutable)
+(define c (cell 1))
+(set-cell-value! c 99)
+(displayln (cell-value c))"""
+        ) == "99\n"
+
+    def test_immutable_structs_have_no_setters(self, run):
+        from repro.errors import UnboundIdentifierError
+
+        with pytest.raises(UnboundIdentifierError):
+            run(
+                """#lang racket
+(struct point (x))
+(set-point-x! (point 1) 2)"""
+            )
+
+
+class TestTransparency:
+    def test_opaque_by_default(self, run):
+        out = run("#lang racket\n(struct point (x y))\n(displayln (point 1 2))")
+        assert out == "#<point>\n"
+
+    def test_opaque_equal_is_identity(self, run):
+        assert run(
+            """#lang racket
+(struct point (x y))
+(displayln (equal? (point 1 2) (point 1 2)))"""
+        ) == "#f\n"
+
+    def test_transparent_printing(self, run):
+        assert run(
+            "#lang racket\n(struct point (x y) #:transparent)\n(displayln (point 1 2))"
+        ) == "(point 1 2)\n"
+
+    def test_transparent_equal_is_structural(self, run):
+        assert run(
+            """#lang racket
+(struct point (x y) #:transparent)
+(displayln (equal? (point 1 2) (point 1 2)))
+(displayln (equal? (point 1 2) (point 1 3)))"""
+        ) == "#t\n#f\n"
+
+
+class TestStructsInPrograms:
+    def test_struct_in_match(self, run):
+        assert run(
+            """#lang racket
+(struct leaf (value))
+(struct node (left right))
+(define (tree-sum t)
+  (match t
+    [(struct leaf (v)) v]
+    [(struct node (l r)) (+ (tree-sum l) (tree-sum r))]))
+(displayln (tree-sum (node (leaf 1) (node (leaf 2) (leaf 3)))))"""
+        ) == "6\n"
+
+    def test_structs_across_modules(self, rt):
+        rt.register_module(
+            "shapes",
+            """#lang racket
+(struct circle (radius))
+(define (area c) (* 3 (* (circle-radius c) (circle-radius c))))
+(provide circle circle? circle-radius area)""",
+        )
+        rt.register_module(
+            "app",
+            """#lang racket
+(require shapes)
+(displayln (area (circle 2)))
+(displayln (circle? (circle 1)))""",
+        )
+        assert rt.run("app") == "12\n#t\n"
+
+    def test_struct_instances_in_lists(self, run):
+        assert run(
+            """#lang racket
+(struct point (x y) #:transparent)
+(define points (list (point 1 2) (point 3 4)))
+(displayln (map point-x points))"""
+        ) == "(1 3)\n"
+
+    def test_hygiene_of_generated_names(self, run):
+        # generated names live in the use site's context: two structs with
+        # different names never collide, and user code can shadow accessors
+        assert run(
+            """#lang racket
+(struct a (v))
+(struct b (v))
+(displayln (list (a-v (a 1)) (b-v (b 2))))"""
+        ) == "(1 2)\n"

@@ -1,0 +1,177 @@
+"""Tests for runtime value representations and equality."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import values as v
+from repro.runtime.equality import eq, equal, eqv
+from repro.runtime.printing import display_value, write_value
+
+
+class TestSymbols:
+    def test_interning(self):
+        assert v.Symbol("abc") is v.Symbol("abc")
+
+    def test_distinct_names(self):
+        assert v.Symbol("a") is not v.Symbol("b")
+
+    def test_gensym_unique(self):
+        assert v.gensym("g") is not v.gensym("g")
+
+    def test_keyword_interning(self):
+        assert v.Keyword("k") is v.Keyword("k")
+        assert v.Keyword("k") is not v.Symbol("k")
+
+
+class TestLists:
+    def test_from_to_roundtrip(self):
+        assert v.to_list(v.from_list([1, 2, 3])) == [1, 2, 3]
+
+    def test_empty(self):
+        assert v.from_list([]) is v.NULL
+        assert v.to_list(v.NULL) == []
+
+    def test_improper_tail(self):
+        lst = v.from_list([1, 2], tail=3)
+        assert lst.car == 1 and lst.cdr.car == 2 and lst.cdr.cdr == 3
+
+    def test_is_list(self):
+        assert v.is_list(v.from_list([1, 2]))
+        assert v.is_list(v.NULL)
+        assert not v.is_list(v.Pair(1, 2))
+
+    def test_list_length(self):
+        assert v.list_length(v.from_list(list(range(5)))) == 5
+
+    def test_to_list_improper_raises(self):
+        with pytest.raises(ValueError):
+            v.to_list(v.Pair(1, 2))
+
+    def test_pair_iteration(self):
+        assert list(v.from_list([1, 2, 3])) == [1, 2, 3]
+
+
+class TestHashTable:
+    def test_set_get(self):
+        h = v.HashTable()
+        h.set(v.Symbol("k"), 42)
+        assert h.get(v.Symbol("k")) == 42
+
+    def test_structural_keys(self):
+        h = v.HashTable()
+        h.set(v.from_list([1, 2]), "a")
+        assert h.get(v.from_list([1, 2])) == "a"
+
+    def test_missing_returns_default(self):
+        h = v.HashTable()
+        assert h.get("nope", "default") == "default"
+
+    def test_remove_and_count(self):
+        h = v.HashTable()
+        h.set(1, "a")
+        h.set(2, "b")
+        h.remove(1)
+        assert h.count() == 1 and not h.has(1)
+
+
+class TestEq:
+    def test_symbols(self):
+        assert eq(v.Symbol("a"), v.Symbol("a"))
+
+    def test_small_integers(self):
+        assert eq(10**20, 10**20)  # deterministic across boxing
+
+    def test_booleans_not_integers(self):
+        assert not eq(True, 1)
+        assert not eq(1, True)
+
+    def test_chars(self):
+        assert eq(v.Char("x"), v.Char("x"))
+
+    def test_pairs_by_identity(self):
+        p = v.Pair(1, 2)
+        assert eq(p, p)
+        assert not eq(v.Pair(1, 2), v.Pair(1, 2))
+
+
+class TestEqv:
+    def test_floats(self):
+        assert eqv(1.5, 1.5)
+        assert not eqv(1.5, 1.6)
+
+    def test_nan_eqv_itself(self):
+        nan = float("nan")
+        assert eqv(nan, nan)
+
+    def test_exactness_distinguished(self):
+        assert not eqv(1, 1.0)
+
+
+class TestEqual:
+    def test_lists(self):
+        assert equal(v.from_list([1, 2, 3]), v.from_list([1, 2, 3]))
+        assert not equal(v.from_list([1, 2]), v.from_list([1, 2, 3]))
+
+    def test_nested(self):
+        a = v.from_list([v.from_list([1]), "x"])
+        b = v.from_list([v.from_list([1]), "x"])
+        assert equal(a, b)
+
+    def test_strings(self):
+        assert equal("abc", "ab" + "c")
+
+    def test_vectors(self):
+        assert equal(v.MVector([1, 2]), v.MVector([1, 2]))
+        assert not equal(v.MVector([1, 2]), v.MVector([2, 1]))
+
+    def test_boxes(self):
+        assert equal(v.Box(1), v.Box(1))
+        assert not equal(v.Box(1), v.Box(2))
+
+    def test_improper(self):
+        assert equal(v.Pair(1, 2), v.Pair(1, 2))
+
+
+class TestPrinting:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (True, "#t"),
+            (False, "#f"),
+            (42, "42"),
+            (1.5, "1.5"),
+            (2.0, "2.0"),
+            (float("inf"), "+inf.0"),
+            (float("-inf"), "-inf.0"),
+            (complex(2.0, 2.0), "2.0+2.0i"),
+            (complex(1.0, -0.5), "1.0-0.5i"),
+            ("hi", '"hi"'),
+            (v.Symbol("sym"), "sym"),
+            (v.Char("a"), "#\\a"),
+            (v.Char(" "), "#\\space"),
+            (v.NULL, "()"),
+            (v.VOID, "#<void>"),
+        ],
+    )
+    def test_write(self, value, expected):
+        assert write_value(value) == expected
+
+    def test_write_list(self):
+        assert write_value(v.from_list([1, 2, 3])) == "(1 2 3)"
+
+    def test_write_improper(self):
+        assert write_value(v.Pair(1, 2)) == "(1 . 2)"
+
+    def test_write_vector(self):
+        assert write_value(v.MVector([1, "a"])) == '#(1 "a")'
+
+    def test_display_strings_unquoted(self):
+        assert display_value("hi") == "hi"
+        assert display_value(v.from_list(["a", v.Char("b")])) == "(a b)"
+
+    def test_nan_prints(self):
+        assert write_value(float("nan")) == "+nan.0"
+
+    def test_string_escapes_roundtrip(self):
+        assert write_value('a"b\nc') == '"a\\"b\\nc"'
