@@ -26,9 +26,12 @@ import sys as _sys
 if _sys.getrecursionlimit() < 100_000:
     _sys.setrecursionlimit(100_000)
 
+from repro.diagnostics import CompileResult, Diagnostic, DiagnosticSession
 from repro.errors import (
     AmbiguousBindingError,
+    CompilationFailed,
     ContractViolation,
+    ExpansionLimitError,
     ModuleError,
     ParseCoreError,
     ReaderError,
@@ -48,13 +51,18 @@ __all__ = [
     "Runtime",
     "STATS",
     "Stats",
+    "CompileResult",
+    "Diagnostic",
+    "DiagnosticSession",
     "ReproError",
     "ReaderError",
     "SyntaxExpansionError",
     "UnboundIdentifierError",
     "AmbiguousBindingError",
+    "ExpansionLimitError",
     "ParseCoreError",
     "TypeCheckError",
+    "CompilationFailed",
     "ContractViolation",
     "RuntimeReproError",
     "WrongTypeError",

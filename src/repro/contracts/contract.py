@@ -15,18 +15,52 @@ from typing import Any, Callable, Optional, Sequence
 from repro.errors import ContractViolation
 from repro.runtime.stats import STATS
 from repro.runtime.values import ContractedProcedure, Procedure
+from repro.syn.srcloc import SrcLoc
 
 
 class Contract:
-    """Base class. ``attach`` applies the contract to a value at a boundary."""
+    """Base class. ``attach`` applies the contract to a value at a boundary.
+
+    ``srcloc`` records the boundary that generated this contract (the
+    ``require/typed`` clause or provided identifier), so violations can point
+    back at source code; ``None`` when the origin is unknown.
+    """
 
     name: str = "contract"
+    srcloc: Optional[SrcLoc] = None
 
     def attach(self, value: Any, positive: str, negative: str) -> Any:
         raise NotImplementedError
 
     def __repr__(self) -> str:
         return f"#<contract:{self.name}>"
+
+
+def propagate_srcloc(contract: Contract, srcloc: Optional[SrcLoc]) -> Contract:
+    """Stamp ``srcloc`` onto ``contract`` and its sub-contracts (the pieces
+    that check elements, arguments, results, ...), so that however deep a
+    violation occurs, it names the boundary it guards. Already-stamped
+    contracts are left alone (shared sub-contracts keep their own origin)."""
+    if srcloc is None or contract.srcloc is not None:
+        return contract
+    if isinstance(contract, AnyContract):
+        return contract  # ANY is a shared singleton (and never raises)
+    contract.srcloc = srcloc
+    for child in _sub_contracts(contract):
+        propagate_srcloc(child, srcloc)
+    return contract
+
+
+def _sub_contracts(contract: Contract) -> list[Contract]:
+    if isinstance(contract, ListOfContract) or isinstance(contract, VectorOfContract):
+        return [contract.element]
+    if isinstance(contract, PairOfContract):
+        return [contract.car, contract.cdr]
+    if isinstance(contract, OrContract):
+        return list(contract.disjuncts)
+    if isinstance(contract, FunctionContract):
+        return [*contract.domain, contract.range]
+    return []
 
 
 class FlatContract(Contract):
@@ -42,7 +76,9 @@ class FlatContract(Contract):
             from repro.runtime.printing import write_value
 
             raise ContractViolation(
-                f"promised {self.name}, produced {write_value(value)}", positive
+                f"promised {self.name}, produced {write_value(value)}",
+                positive,
+                srcloc=self.srcloc,
             )
         return value
 
@@ -84,7 +120,9 @@ class ListOfContract(Contract):
             from repro.runtime.printing import write_value
 
             raise ContractViolation(
-                f"promised {self.name}, produced {write_value(value)}", positive
+                f"promised {self.name}, produced {write_value(value)}",
+                positive,
+                srcloc=self.srcloc,
             )
         from repro.runtime.values import from_list
 
@@ -105,7 +143,9 @@ class PairOfContract(Contract):
             from repro.runtime.printing import write_value
 
             raise ContractViolation(
-                f"promised {self.name}, produced {write_value(value)}", positive
+                f"promised {self.name}, produced {write_value(value)}",
+                positive,
+                srcloc=self.srcloc,
             )
         return Pair(
             self.car.attach(value.car, positive, negative),
@@ -128,7 +168,9 @@ class VectorOfContract(Contract):
             from repro.runtime.printing import write_value
 
             raise ContractViolation(
-                f"promised {self.name}, produced {write_value(value)}", positive
+                f"promised {self.name}, produced {write_value(value)}",
+                positive,
+                srcloc=self.srcloc,
             )
         for i, item in enumerate(value.items):
             value.items[i] = self.element.attach(item, positive, negative)
@@ -163,7 +205,9 @@ class OrContract(Contract):
         from repro.runtime.printing import write_value
 
         raise ContractViolation(
-            f"promised {self.name}, produced {write_value(value)}", positive
+            f"promised {self.name}, produced {write_value(value)}",
+            positive,
+            srcloc=self.srcloc,
         )
 
 
@@ -183,7 +227,9 @@ class FunctionContract(Contract):
             from repro.runtime.printing import write_value
 
             raise ContractViolation(
-                f"promised {self.name}, produced {write_value(value)}", positive
+                f"promised {self.name}, produced {write_value(value)}",
+                positive,
+                srcloc=self.srcloc,
             )
         return ContractedProcedure(value, self, positive, negative)
 
@@ -195,6 +241,7 @@ class FunctionContract(Contract):
                 f"{self.name}: expected {len(self.domain)} arguments, "
                 f"got {len(args)}",
                 wrapped.negative,
+                srcloc=self.srcloc,
             )
         checked = [
             # reversed blame for arguments: the *caller* promised them

@@ -1,0 +1,47 @@
+"""The stable error-code namespace.
+
+Codes never change meaning once assigned, so tools (editors, CI annotators,
+test suites) can match on them instead of on message text. The namespaces:
+
+- ``R00x`` — reader / lexer errors
+- ``E00x`` — expander errors
+- ``T00x`` — typechecker errors
+- ``M00x`` — module system errors
+- ``C00x`` — contract violations
+- ``X00x`` — runtime errors and aggregates
+"""
+
+from __future__ import annotations
+
+CODES: dict[str, str] = {
+    # reader
+    "R001": "syntax error while reading",
+    "R002": "unterminated list or vector",
+    "R003": "unterminated string",
+    "R004": "unterminated |symbol|",
+    "R005": "missing #lang line",
+    # expander
+    "E001": "bad syntax during expansion",
+    "E002": "unbound identifier",
+    "E003": "ambiguous binding",
+    "E004": "macro expansion budget exhausted",
+    "E005": "fully-expanded term does not match the core grammar",
+    # typechecker
+    "T001": "type error",
+    # module system
+    "M001": "module error",
+    "M002": "module not found",
+    "M003": "module dependency cycle",
+    # contracts
+    "C001": "contract violation",
+    # runtime / aggregate
+    "X001": "runtime error",
+    "X002": "wrong runtime type",
+    "X003": "arity error",
+    "X100": "compilation failed (aggregate)",
+}
+
+
+def describe_code(code: str) -> str:
+    """A one-line description of a stable error code."""
+    return CODES.get(code, "unknown error code")

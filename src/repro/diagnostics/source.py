@@ -1,0 +1,44 @@
+"""A bounded registry of source text, used to render excerpts.
+
+The reader registers every text it reads, keyed by source name; diagnostic
+rendering looks lines up here. The registry is bounded (oldest entries are
+evicted) because long-lived processes — the REPL registers a fresh
+``<repl-N>`` pseudo-file per input — must not grow without limit.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+
+class SourceMap:
+    """source name -> full text, with LRU-style bounded retention."""
+
+    def __init__(self, capacity: int = 512) -> None:
+        self.capacity = capacity
+        self._texts: OrderedDict[str, str] = OrderedDict()
+
+    def register(self, source: str, text: str) -> None:
+        if source in self._texts:
+            self._texts.move_to_end(source)
+        self._texts[source] = text
+        while len(self._texts) > self.capacity:
+            self._texts.popitem(last=False)
+
+    def get(self, source: str) -> Optional[str]:
+        return self._texts.get(source)
+
+    def line(self, source: str, lineno: int) -> Optional[str]:
+        """The 1-based ``lineno``-th line of ``source``, or None."""
+        text = self._texts.get(source)
+        if text is None or lineno < 1:
+            return None
+        lines = text.splitlines()
+        if lineno > len(lines):
+            return None
+        return lines[lineno - 1]
+
+
+#: The global source registry shared by every Reader.
+SOURCES = SourceMap()

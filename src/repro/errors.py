@@ -1,23 +1,41 @@
 """Exception hierarchy for the repro platform.
 
 Every user-facing error carries an optional source location so that tools can
-point at the offending syntax, mirroring Racket's error conventions.
+point at the offending syntax, mirroring Racket's error conventions. Each
+class also carries a *stable error code* (see :mod:`repro.diagnostics.codes`)
+so tools can match on codes instead of message text, and an optional
+``expansion_backtrace`` — the chain of macro invocations that produced the
+offending form, attached by the expander.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Optional
+from typing import TYPE_CHECKING, Any, Optional, Sequence
 
 if TYPE_CHECKING:
+    from repro.diagnostics.diagnostic import Diagnostic, ExpansionFrame
     from repro.syn.srcloc import SrcLoc
 
 
 class ReproError(Exception):
     """Base class for all platform errors."""
 
-    def __init__(self, message: str, srcloc: Optional["SrcLoc"] = None) -> None:
+    #: stable error code used when none is given at raise time
+    DEFAULT_CODE = "X001"
+
+    def __init__(
+        self,
+        message: str,
+        srcloc: Optional["SrcLoc"] = None,
+        *,
+        code: Optional[str] = None,
+    ) -> None:
         self.message = message
         self.srcloc = srcloc
+        self.code = code or type(self).DEFAULT_CODE
+        #: macro invocations active when the error was raised (innermost
+        #: last); filled in by the expander's transformer application.
+        self.expansion_backtrace: tuple["ExpansionFrame", ...] = ()
         super().__init__(self._format())
 
     def _format(self) -> str:
@@ -25,9 +43,19 @@ class ReproError(Exception):
             return f"{self.srcloc}: {self.message}"
         return self.message
 
+    def __str__(self) -> str:
+        # computed lazily: the expander attaches the backtrace after raise
+        base = self._format()
+        if self.expansion_backtrace:
+            frames = "\n".join(f"  {frame}" for frame in self.expansion_backtrace)
+            return f"{base}\nmacro expansion backtrace:\n{frames}"
+        return base
+
 
 class ReaderError(ReproError):
     """Lexical or parse error while reading source text."""
+
+    DEFAULT_CODE = "R001"
 
 
 class SyntaxExpansionError(ReproError):
@@ -37,11 +65,15 @@ class SyntaxExpansionError(ReproError):
     show the offending form, like Racket's ``raise-syntax-error``.
     """
 
+    DEFAULT_CODE = "E001"
+
     def __init__(
         self,
         message: str,
         stx: Any = None,
         sub_stx: Any = None,
+        *,
+        code: Optional[str] = None,
     ) -> None:
         self.stx = stx
         self.sub_stx = sub_stx
@@ -49,26 +81,47 @@ class SyntaxExpansionError(ReproError):
         detail = message
         culprit = sub_stx if sub_stx is not None else stx
         if culprit is not None:
-            srcloc = getattr(culprit, "srcloc", None)
+            try:
+                from repro.syn.syntax import best_srcloc
+
+                srcloc = best_srcloc(culprit)
+            except Exception:  # pragma: no cover - defensive
+                srcloc = getattr(culprit, "srcloc", None)
             try:
                 from repro.syn.syntax import syntax_to_datum, write_datum
 
                 detail = f"{message} in: {write_datum(syntax_to_datum(culprit))}"
             except Exception:  # pragma: no cover - defensive formatting
                 detail = message
-        super().__init__(detail, srcloc)
+        super().__init__(detail, srcloc, code=code)
 
 
 class UnboundIdentifierError(SyntaxExpansionError):
     """An identifier could not be resolved to any binding."""
 
+    DEFAULT_CODE = "E002"
+
 
 class AmbiguousBindingError(SyntaxExpansionError):
     """An identifier's scope set matches multiple incomparable bindings."""
 
+    DEFAULT_CODE = "E003"
+
+
+class ExpansionLimitError(SyntaxExpansionError):
+    """The expander's fuel budget ran out (a runaway recursive macro).
+
+    Raised instead of ever letting a Python ``RecursionError`` escape; the
+    ``expansion_backtrace`` shows the chain of macro invocations in flight.
+    """
+
+    DEFAULT_CODE = "E004"
+
 
 class ParseCoreError(ReproError):
     """A fully-expanded term did not conform to the core grammar."""
+
+    DEFAULT_CODE = "E005"
 
 
 class TypeCheckError(ReproError):
@@ -78,10 +131,20 @@ class TypeCheckError(ReproError):
     offending term.
     """
 
-    def __init__(self, message: str, stx: Any = None) -> None:
+    DEFAULT_CODE = "T001"
+
+    def __init__(
+        self, message: str, stx: Any = None, *, code: Optional[str] = None
+    ) -> None:
         self.stx = stx
-        srcloc = getattr(stx, "srcloc", None) if stx is not None else None
+        srcloc = None
         if stx is not None:
+            try:
+                from repro.syn.syntax import best_srcloc
+
+                srcloc = best_srcloc(stx)
+            except Exception:  # pragma: no cover - defensive
+                srcloc = getattr(stx, "srcloc", None)
             try:
                 from repro.syn.syntax import syntax_to_datum, write_datum
 
@@ -90,27 +153,45 @@ class TypeCheckError(ReproError):
                 message = f"typecheck: {message}"
         else:
             message = f"typecheck: {message}"
-        super().__init__(message, srcloc)
+        super().__init__(message, srcloc, code=code)
 
 
 class ContractViolation(ReproError):
-    """A dynamic contract check failed; blame says who broke the agreement."""
+    """A dynamic contract check failed; blame says who broke the agreement.
 
-    def __init__(self, message: str, blame: Optional[str] = None) -> None:
+    Like every other platform error it can carry a source location — for
+    typed/untyped boundary contracts, the ``require/typed`` (or provide)
+    form that erected the boundary.
+    """
+
+    DEFAULT_CODE = "C001"
+
+    def __init__(
+        self,
+        message: str,
+        blame: Optional[str] = None,
+        srcloc: Optional["SrcLoc"] = None,
+        *,
+        code: Optional[str] = None,
+    ) -> None:
         self.blame = blame
         if blame is not None:
             message = f"contract violation: {message} (blaming: {blame})"
         else:
             message = f"contract violation: {message}"
-        super().__init__(message)
+        super().__init__(message, srcloc, code=code)
 
 
 class RuntimeReproError(ReproError):
     """Runtime error in evaluated object-language code."""
 
+    DEFAULT_CODE = "X001"
+
 
 class WrongTypeError(RuntimeReproError):
     """A primitive received a value of the wrong runtime type (a failed tag check)."""
+
+    DEFAULT_CODE = "X002"
 
     def __init__(self, who: str, expected: str, got: Any) -> None:
         self.who = who
@@ -124,6 +205,35 @@ class WrongTypeError(RuntimeReproError):
 class ArityError(RuntimeReproError):
     """A procedure was applied to the wrong number of arguments."""
 
+    DEFAULT_CODE = "X003"
+
 
 class ModuleError(ReproError):
     """Module resolution, cycle, or instantiation error."""
+
+    DEFAULT_CODE = "M001"
+
+
+class CompilationFailed(ReproError):
+    """A compilation that found several independent problems.
+
+    Carries every :class:`repro.diagnostics.Diagnostic` the pipeline
+    collected for the module; ``str()`` renders them all, each with its
+    source excerpt and stable code. Single-error compilations raise the
+    original exception instead (see ``DiagnosticSession.raise_if_errors``).
+    """
+
+    DEFAULT_CODE = "X100"
+
+    def __init__(
+        self,
+        diagnostics: Sequence["Diagnostic"],
+        module_path: Optional[str] = None,
+    ) -> None:
+        self.diagnostics = list(diagnostics)
+        self.module_path = module_path
+        errors = [d for d in self.diagnostics if d.severity == "error"]
+        where = f" in {module_path}" if module_path else ""
+        header = f"compilation failed{where}: {len(errors)} error(s)"
+        body = "\n".join(d.render() for d in self.diagnostics)
+        super().__init__(f"{header}\n{body}" if body else header)

@@ -72,9 +72,16 @@ class ExpandContext:
         registry: "ModuleRegistry",
     ) -> None:
         from repro.core.namespace import Namespace
+        from repro.diagnostics.session import DiagnosticSession
 
         self.module_path = module_path
         self.registry = registry
+        #: per-compilation diagnostic collector (multi-error recovery)
+        self.diagnostics = DiagnosticSession(module_path)
+        #: binding keys of definitions that failed to expand; downstream
+        #: layers (the typecheckers) treat references to them as the bottom
+        #: type instead of piling up cascading errors
+        self.poisoned: set[Any] = set()
         self.meanings: dict[Any, Meaning] = {}
         self.module_scope: Scope = Scope("module")
         self.phase1_ns: "Namespace" = registry.make_phase1_namespace(module_path)

@@ -24,7 +24,12 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional, Sequence
 
+from repro.diagnostics.diagnostic import ExpansionFrame
+from repro.diagnostics.session import FATAL_ERRORS
 from repro.errors import (
+    CompilationFailed,
+    ExpansionLimitError,
+    ReproError,
     SyntaxExpansionError,
     UnboundIdentifierError,
 )
@@ -60,16 +65,75 @@ _QUOTE = Symbol("quote")
 _MB_EXPANDED_PROP = "module-begin-expanded"
 _PHASE1_DONE_PROP = "phase1-processed"
 
+#: default per-compilation budget of transformer applications
+DEFAULT_FUEL = 10_000
+
+#: cap on recorded backtrace frames (deep non-tail macro nests)
+_MAX_BACKTRACE = 24
+
+
+class _Retry:
+    """Marker: a transformer fired; re-dispatch on its output (iteratively,
+    so head-recursive macros consume fuel, not Python stack)."""
+
+    __slots__ = ("stx", "stop")
+
+    def __init__(self, stx: Syntax, stop: Optional[frozenset]) -> None:
+        self.stx = stx
+        self.stop = stop
+
 
 class Expander:
     def __init__(self, ctx: ExpandContext) -> None:
         self.ctx = ctx
         #: introduction scopes of transformer applications in progress
         self._intro_stack: list[Scope] = []
+        #: macro invocations in progress, for expansion backtraces
+        self._macro_frames: list[ExpansionFrame] = []
+        self.fuel_budget = getattr(ctx.registry, "expansion_fuel", None) or DEFAULT_FUEL
+        self.fuel = self.fuel_budget
 
     # ------------------------------------------------------------------
     # transformer application
     # ------------------------------------------------------------------
+
+    @staticmethod
+    def _macro_name_of(stx: Syntax) -> str:
+        e = stx.e
+        if isinstance(e, Symbol):
+            return e.name
+        if isinstance(e, tuple) and e and e[0].is_identifier():
+            return e[0].e.name
+        if isinstance(e, ImproperList) and e.items and e.items[0].is_identifier():
+            return e.items[0].e.name
+        return "<macro>"
+
+    def backtrace(self) -> tuple[ExpansionFrame, ...]:
+        """The macro invocations currently in flight (outermost first)."""
+        frames = self._macro_frames
+        if len(frames) > _MAX_BACKTRACE:
+            half = _MAX_BACKTRACE // 2
+            elided = len(frames) - 2 * half
+            return (
+                *frames[:half],
+                ExpansionFrame(f"... ({elided} frames elided)"),
+                *frames[-half:],
+            )
+        return tuple(frames)
+
+    def _use_fuel(self, stx: Syntax) -> None:
+        from repro.runtime.stats import STATS
+
+        STATS.expansion_steps += 1
+        self.fuel -= 1
+        if self.fuel < 0:
+            err = ExpansionLimitError(
+                f"macro expansion exceeded its budget of {self.fuel_budget} "
+                f"steps (runaway recursive macro?)",
+                stx,
+            )
+            err.expansion_backtrace = self.backtrace()
+            raise err
 
     def apply_transformer(
         self, transformer: Any, stx: Syntax, phase: int, in_def_ctx: bool
@@ -81,10 +145,30 @@ class Expander:
             self.ctx.use_site_scopes[-1].add(use_site)
             inp = inp.add_scope(use_site)
         self._intro_stack.append(intro)
+        self._macro_frames.append(
+            ExpansionFrame(self._macro_name_of(stx), stx.srcloc)
+        )
         try:
+            # burn fuel with the frame already pushed, so an exhausted
+            # budget names the macro that tripped it in its backtrace
+            self._use_fuel(stx)
             out = self.call_transformer(transformer, inp)
+        except RecursionError:
+            err = ExpansionLimitError(
+                "macro expansion nested too deeply for the interpreter "
+                "(runaway recursive macro?)",
+                stx,
+            )
+            err.expansion_backtrace = self.backtrace()
+            raise err from None
+        except ReproError as err:
+            # aggregates carry a backtrace per diagnostic already
+            if not err.expansion_backtrace and not isinstance(err, CompilationFailed):
+                err.expansion_backtrace = self.backtrace()
+            raise
         finally:
             self._intro_stack.pop()
+            self._macro_frames.pop()
         if not isinstance(out, Syntax):
             raise SyntaxExpansionError(
                 f"macro transformer returned a non-syntax value: {out!r}", stx
@@ -129,20 +213,31 @@ class Expander:
     def expand_expr(
         self, stx: Syntax, phase: int = 0, stop: Optional[frozenset] = None
     ) -> Syntax:
-        e = stx.e
-        if isinstance(e, Symbol):
-            return self._expand_identifier(stx, phase, stop)
-        if isinstance(e, tuple):
-            if not e:
-                raise SyntaxExpansionError("missing procedure expression", stx)
-            return self._expand_compound(stx, phase, stop)
-        if isinstance(e, ImproperList):
-            raise SyntaxExpansionError("bad syntax (improper list)", stx)
-        return self._expand_datum(stx, phase)
+        # Iterative head-expansion driver: each transformer application
+        # returns a _Retry and loops here, so a macro that expands to
+        # another macro use in head position consumes *fuel*, not Python
+        # stack — a runaway macro hits ExpansionLimitError, never
+        # RecursionError.
+        while True:
+            e = stx.e
+            if isinstance(e, Symbol):
+                out = self._expand_identifier(stx, phase, stop)
+            elif isinstance(e, tuple):
+                if not e:
+                    raise SyntaxExpansionError("missing procedure expression", stx)
+                out = self._expand_compound(stx, phase, stop)
+            elif isinstance(e, ImproperList):
+                raise SyntaxExpansionError("bad syntax (improper list)", stx)
+            else:
+                out = self._expand_datum(stx, phase)
+            if isinstance(out, _Retry):
+                stx, stop = out.stx, out.stop
+                continue
+            return out
 
     def _expand_identifier(
         self, stx: Syntax, phase: int, stop: Optional[frozenset]
-    ) -> Syntax:
+    ) -> Any:
         binding = TABLE.resolve(stx, phase)
         if binding is None:
             raise UnboundIdentifierError(
@@ -156,13 +251,12 @@ class Expander:
             return stx
         transformer = self._transformer_of(binding)
         if transformer is not None:
-            out = self.apply_transformer(transformer, stx, phase, False)
-            return self.expand_expr(out, phase, stop)
+            return _Retry(self.apply_transformer(transformer, stx, phase, False), stop)
         return stx
 
     def _expand_compound(
         self, stx: Syntax, phase: int, stop: Optional[frozenset]
-    ) -> Syntax:
+    ) -> Any:
         head = stx.e[0]
         if head.is_identifier():
             binding = TABLE.resolve(head, phase)
@@ -173,17 +267,17 @@ class Expander:
                     return self._expand_core_form(binding.name, stx, phase, stop)
                 transformer = self._transformer_of(binding)
                 if transformer is not None:
-                    out = self.apply_transformer(transformer, stx, phase, False)
-                    return self.expand_expr(out, phase, stop)
+                    return _Retry(
+                        self.apply_transformer(transformer, stx, phase, False), stop
+                    )
         return self._expand_app(stx, phase, stop)
 
-    def _expand_app(self, stx: Syntax, phase: int, stop: Optional[frozenset]) -> Syntax:
+    def _expand_app(self, stx: Syntax, phase: int, stop: Optional[frozenset]) -> Any:
         hook = self._implicit_hook("#%app", stx, phase)
         if hook is not None:
             hook_id = Syntax(Symbol("#%app"), stx.scopes, stx.srcloc)
             wrapped = Syntax((hook_id, *stx.e), stx.scopes, stx.srcloc, stx.props)
-            out = self.apply_transformer(hook, wrapped, phase, False)
-            return self.expand_expr(out, phase, stop)
+            return _Retry(self.apply_transformer(hook, wrapped, phase, False), stop)
         if stop:
             return stx
         expanded = tuple(self.expand_expr(x, phase, stop) for x in stx.e)
@@ -194,15 +288,14 @@ class Expander:
             stx.props,
         )
 
-    def _expand_datum(self, stx: Syntax, phase: int) -> Syntax:
+    def _expand_datum(self, stx: Syntax, phase: int) -> Any:
         hook = self._implicit_hook("#%datum", stx, phase)
         if hook is not None:
             hook_id = Syntax(Symbol("#%datum"), stx.scopes, stx.srcloc)
             wrapped = Syntax(
                 ImproperList((hook_id,), stx), stx.scopes, stx.srcloc
             )
-            out = self.apply_transformer(hook, wrapped, phase, False)
-            return self.expand_expr(out, phase)
+            return _Retry(self.apply_transformer(hook, wrapped, phase, False), None)
         return Syntax(
             (core_id("quote", stx.srcloc), stx), stx.scopes, stx.srcloc, stx.props
         )
@@ -515,52 +608,107 @@ class Expander:
         if not (isinstance(stx.e, tuple) and stx.e):
             raise SyntaxExpansionError("#%plain-module-begin: bad syntax", stx)
         ctx = self.ctx
+        session = ctx.diagnostics
         ctx.use_site_scopes.append(set())
         try:
+            # pass 1: partial-expand each module-level form. A recoverable
+            # error drops the offending form, records a diagnostic, and
+            # continues with the next form, so one compile reports every
+            # problem (fatal errors — missing modules, exhausted fuel —
+            # still abort immediately).
             processed: list[tuple[str, Any]] = []
             pending = list(stx.e[1:])
             while pending:
-                form = self.partial_expand(pending.pop(0), phase, True)
-                head = self._core_head(form, phase)
-                if head == "begin":
-                    pending = list(form.e[1:]) + pending
-                    continue
-                if head == "define-values":
-                    processed.append(self._module_define_values(form, phase))
-                    continue
-                if head == "define-syntaxes":
-                    expanded = self._handle_define_syntaxes(form, phase, record=True)
-                    processed.append(("done", expanded))
-                    continue
-                if head == "begin-for-syntax":
-                    expanded = self._handle_begin_for_syntax(form, phase)
-                    processed.append(("done", expanded))
-                    continue
-                if head == "#%require":
-                    self._handle_require(form, phase)
-                    processed.append(("done", form))
-                    continue
-                if head == "#%provide":
-                    self._handle_provide(form, phase)
-                    processed.append(("done", form))
-                    continue
-                processed.append(("expr", form))
+                raw = pending.pop(0)
+                try:
+                    form = self.partial_expand(raw, phase, True)
+                    head = self._core_head(form, phase)
+                    if head == "begin":
+                        pending = list(form.e[1:]) + pending
+                        continue
+                    if head == "define-values":
+                        processed.append(self._module_define_values(form, phase))
+                        continue
+                    if head == "define-syntaxes":
+                        expanded = self._handle_define_syntaxes(form, phase, record=True)
+                        processed.append(("done", expanded))
+                        continue
+                    if head == "begin-for-syntax":
+                        expanded = self._handle_begin_for_syntax(form, phase)
+                        processed.append(("done", expanded))
+                        continue
+                    if head == "#%require":
+                        self._handle_require(form, phase)
+                        processed.append(("done", form))
+                        continue
+                    if head == "#%provide":
+                        self._handle_provide(form, phase)
+                        processed.append(("done", form))
+                        continue
+                    processed.append(("expr", form))
+                except FATAL_ERRORS:
+                    raise
+                except ReproError as err:
+                    session.add_exception(err)
+                    self._bind_failed_definition(raw, phase)
+            # pass 2: expand right-hand sides and expressions
             out: list[Syntax] = []
             for kind, payload in processed:
-                if kind == "done":
-                    out.append(payload)
-                elif kind == "expr":
-                    out.append(self.expand_expr(payload, phase))
-                else:  # deferred define-values rhs
-                    form, ids_stx = payload
-                    rhs = self.expand_expr(form.e[2], phase)
-                    out.append(self._rebuild(form, (form.e[0], ids_stx, rhs)))
+                try:
+                    if kind == "done":
+                        out.append(payload)
+                    elif kind == "expr":
+                        out.append(self.expand_expr(payload, phase))
+                    else:  # deferred define-values rhs
+                        form, ids_stx = payload
+                        rhs = self.expand_expr(form.e[2], phase)
+                        out.append(self._rebuild(form, (form.e[0], ids_stx, rhs)))
+                except FATAL_ERRORS:
+                    raise
+                except ReproError as err:
+                    session.add_exception(err)
             result = Syntax(
                 (stx.e[0], *out), stx.scopes, stx.srcloc, stx.props
             )
             return result.property_put(_MB_EXPANDED_PROP, True)
         finally:
             ctx.use_site_scopes.pop()
+
+    def _bind_failed_definition(self, raw: Syntax, phase: int) -> None:
+        """Best-effort binding of the names a failed definition form would
+        have introduced, so later references resolve instead of producing a
+        cascading "unbound identifier" for every use of the broken
+        definition. The bindings are marked *poisoned* on the context; the
+        typecheckers treat references to them as the bottom type."""
+        ctx = self.ctx
+        e = raw.e
+        if not (isinstance(e, tuple) and len(e) >= 2 and e[0].is_identifier()):
+            return
+        if not e[0].e.name.startswith("define"):
+            return
+        target = e[1]
+        idents: list[Syntax] = []
+        if e[0].e.name in ("define-values", "define-syntaxes"):
+            if isinstance(target.e, tuple):
+                idents = [i for i in target.e if i.is_identifier()]
+        elif target.is_identifier():
+            idents = [target]  # (define x ...)
+        elif isinstance(target.e, tuple) and target.e and target.e[0].is_identifier():
+            idents = [target.e[0]]  # (define (f ...) ...)
+        elif (
+            isinstance(target.e, ImproperList)
+            and target.e.items
+            and target.e.items[0].is_identifier()
+        ):
+            idents = [target.e.items[0]]  # (define (f . rest) ...)
+        for ident in idents:
+            ident = self._strip_use_site(ident)
+            if ident.e.name in ctx.defined_names:
+                continue
+            binding = ModuleBinding(ctx.module_path, ident.e, phase)
+            ctx.defined_names[ident.e.name] = ident
+            TABLE.bind_identifier(ident, binding, phase)
+            ctx.poisoned.add(binding.key())
 
     def _module_define_values(self, form: Syntax, phase: int) -> tuple[str, Any]:
         if len(form.e) != 3 or not isinstance(form.e[1].e, tuple):
@@ -689,7 +837,7 @@ class Expander:
             return
         ctx.visited.add(compiled.path)
         for req in compiled.requires:
-            self.visit_module(ctx.registry.get_compiled(req))
+            self.visit_module(ctx.registry.get_compiled(req, requirer=compiled.path))
         for decl in compiled.syntax_decls:
             decl.replay(ctx)
 
@@ -727,8 +875,12 @@ class Expander:
         else:
             mod_spec = spec
         name = self._module_name_of(mod_spec)
-        path = ctx.registry.resolve_module_path(name, relative_to=ctx.module_path)
-        compiled = ctx.registry.get_compiled(path)
+        path = ctx.registry.resolve_module_path(
+            name, relative_to=ctx.module_path, srcloc=mod_spec.srcloc
+        )
+        compiled = ctx.registry.get_compiled(
+            path, requirer=ctx.module_path, srcloc=mod_spec.srcloc
+        )
         self.visit_module(compiled)
         if path not in ctx.requires:
             ctx.requires.append(path)

@@ -15,7 +15,7 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Any, Optional
 
-from repro.errors import TypeCheckError
+from repro.errors import ReproError, TypeCheckError
 from repro.expander.env import ExpandContext
 from repro.core.parse import core_form_of
 from repro.langs.typed_common import env as tenv
@@ -35,6 +35,7 @@ class SimpleChecker:
         self.ctx = ctx
         self.types = tenv.type_table(ctx)
         self.expr_types = tenv.expr_types(ctx)
+        self.session = ctx.diagnostics
 
     # -- the two fig. 3 helpers -------------------------------------------
 
@@ -44,6 +45,10 @@ class SimpleChecker:
             raise TypeCheckError(f"unbound variable {ident.e}", ident)
         t = self.types.get(binding.key())
         if t is None:
+            if binding.key() in self.ctx.poisoned:
+                # the definition failed to expand and was already reported;
+                # treat references as bottom rather than cascading
+                return ty.NOTHING
             raise TypeCheckError(f"untyped variable {ident.e}", ident)
         return t
 
@@ -65,9 +70,34 @@ class SimpleChecker:
     # -- module-level entry --------------------------------------------------
 
     def check_module(self, forms: list[Syntax]) -> None:
-        """fig. 2's loop: typecheck each form in turn."""
+        """fig. 2's loop: typecheck each form in turn.
+
+        Each form is checked inside the compilation's diagnostic session, so
+        a type error in one definition doesn't hide errors in the next: the
+        driver reports every failing form at once (``raise_if_errors`` at the
+        end of the ``#%module-begin``).
+        """
         for form in forms:
-            self.typecheck_module_form(form)
+            with self.session.recover():
+                try:
+                    self.typecheck_module_form(form)
+                except ReproError:
+                    self.poison_definition(form)
+                    raise
+
+    def poison_definition(self, form: Syntax) -> None:
+        """After a definition fails to check, bind its identifiers to the
+        bottom type so later forms that mention them don't pile cascading
+        "untyped variable" errors on top of the one real diagnostic."""
+        if core_form_of(form, 0) != "define-values":
+            return
+        ids = form.e[1].e
+        if not isinstance(ids, tuple):
+            return
+        for ident in ids:
+            binding = TABLE.resolve(ident, 0)
+            if binding is not None and binding.key() not in self.types:
+                self.types[binding.key()] = ty.NOTHING
 
     def typecheck_module_form(self, form: Syntax) -> Optional[ty.Type]:
         if form.property_get(SKIP_KEY):
@@ -168,6 +198,10 @@ class SimpleChecker:
         args = t.e[2:]
         argtys = [self.typecheck(a) for a in args]
         op_type = self.typecheck(t.e[1])
+        if op_type is ty.NOTHING:
+            # the operator is a poisoned (already-reported) definition;
+            # don't cascade
+            return ty.NOTHING
         if isinstance(op_type, ty.FunType):
             if len(argtys) != len(op_type.params) or not all(
                 ty.subtype(a, p) for a, p in zip(argtys, op_type.params)

@@ -51,6 +51,18 @@ def function_type_syntax(param_types: list[Syntax], result: Syntax) -> Syntax:
     return datum_to_syntax(None, tuple([arrow, *param_types, result]))
 
 
+def boundary_loc_args(lang: Language, ident: Syntax) -> list[Syntax]:
+    """The optional srcloc argument to the ``contract`` primitive: a quoted
+    ``(source line column)`` naming the typed/untyped boundary, so contract
+    violations can point back at the clause that created the boundary.
+    Empty when the identifier has no source location."""
+    loc = ident.srcloc
+    if loc is None:
+        return []
+    locdatum = datum_to_syntax(None, (loc.source, loc.line, loc.column))
+    return [expand_with(lang, "(quote loc)", loc=locdatum)]
+
+
 def install_forms(lang: Language) -> None:
     @fn_macro(lang, "define")
     def define(stx: Syntax, lang: Language) -> Syntax:
@@ -255,11 +267,12 @@ def _install_require_typed(lang: Language) -> None:
                 "(define-values (id)"
                 " (#%plain-app contract"
                 "  (#%plain-app type->contract (quote ser))"
-                "  unsafeid (quote modname) (quote typed-module)))",
+                "  unsafeid (quote modname) (quote typed-module) locarg ...))",
                 id=ident,
                 ser=ser,
                 unsafeid=unsafe_id,
                 modname=module_spec,
+                locarg=boundary_loc_args(lang, ident),
             ).property_put("typed-ignore", True)
             forms.append(define)
             # Stage 2: declare the type at compile time (persisted via §5)

@@ -62,9 +62,13 @@ def install_module_begin(
         )
         core = expander.local_expand(pmb, "module-begin")
 
-        # fig. 2: typecheck each form in turn
+        # fig. 2: typecheck each form in turn. The checker records every
+        # failing form in the compilation's diagnostic session; stop here
+        # (before the optimizer, which assumes well-typed input) if any form
+        # failed, reporting all of them at once.
         checker = checker_factory(ctx)
         checker.check_module(list(core.e[1:]))
+        ctx.diagnostics.raise_if_errors()
 
         # fig. 5: the type-driven optimizer
         if config is None or config.get("optimize", True):
@@ -170,15 +174,18 @@ def _rewrite_one_provide(
         )
     )
     # §6.2 stage 1: the defensive (contract-protected) variant
+    from repro.langs.simple_type.forms import boundary_loc_args
+
     extra.append(
         expand_with(
             lang,
             "(define-values (defensive)"
             " (#%plain-app contract (#%plain-app type->contract (quote ser))"
-            "  n (quote typed-module) (quote untyped-client)))",
+            "  n (quote typed-module) (quote untyped-client) locarg ...))",
             defensive=defensive,
             ser=ser,
             n=internal,
+            locarg=boundary_loc_args(lang, internal),
         ).property_put("typed-ignore", True)
     )
     # §6.2 stage 2: the indirection macro, choosing by the client

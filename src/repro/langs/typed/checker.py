@@ -14,7 +14,7 @@ from fractions import Fraction
 from typing import Optional, Sequence
 
 from repro.core.parse import core_form_of
-from repro.errors import TypeCheckError
+from repro.errors import ReproError, TypeCheckError
 from repro.expander.env import ExpandContext
 from repro.langs.simple_type.checker import SKIP_KEY, TYPE_ANNOTATION_KEY, SimpleChecker
 from repro.langs.typed.base_env import DELTA_RULES
@@ -42,19 +42,30 @@ class FullChecker(SimpleChecker):
     # -- module-level: two passes (§4.4) ------------------------------------
 
     def check_module(self, forms: Sequence[Syntax]) -> None:
-        # pass 1: collect definitions with their declared types
+        # pass 1: collect definitions with their declared types. A bad
+        # declaration is recorded in the diagnostic session; the remaining
+        # declarations are still collected so pass 2 sees the fullest
+        # possible type context.
         for form in forms:
             if form.property_get(SKIP_KEY):
                 continue
             if core_form_of(form, 0) != "define-values":
                 continue
             for ident in form.e[1].e:
-                declared = self._declared_type_of(ident)
-                if declared is not None:
-                    self.add_type(ident, declared)
-        # pass 2: check each form in this type context
+                with self.session.recover():
+                    declared = self._declared_type_of(ident)
+                    if declared is not None:
+                        self.add_type(ident, declared)
+        # pass 2: check each form in this type context; each form checks
+        # under `recover` so every failing form is reported, not just the
+        # first (the #%module-begin driver raises after the whole pass)
         for form in forms:
-            self.typecheck_module_form(form)
+            with self.session.recover():
+                try:
+                    self.typecheck_module_form(form)
+                except ReproError:
+                    self.poison_definition(form)
+                    raise
 
     def _declared_type_of(self, ident: Syntax) -> Optional[ty.Type]:
         annotation = ident.property_get(TYPE_ANNOTATION_KEY)
@@ -247,6 +258,11 @@ class FullChecker(SimpleChecker):
                     return rule(self, t, list(args), argtys)
         # otherwise: the fig. 3 rule, plus expected-type checking of arguments
         op_type = self.typecheck(op)
+        if op_type is ty.NOTHING:
+            # a poisoned (already-reported) definition; don't cascade
+            for a in args:
+                self.typecheck(a)
+            return ty.NOTHING
         if isinstance(op_type, ty.FunType):
             if len(args) != len(op_type.params):
                 raise TypeCheckError(

@@ -13,7 +13,13 @@ from typing import Any
 
 from repro.core.ast import CoreModuleBody
 from repro.core.parse import core_form_of, parse_module_level_form
-from repro.errors import ModuleError, SyntaxExpansionError
+from repro.diagnostics.session import FATAL_ERRORS
+from repro.errors import (
+    CompilationFailed,
+    ModuleError,
+    ReproError,
+    SyntaxExpansionError,
+)
 from repro.expander.env import ExpandContext, TransformerMeaning, pop_context, push_context
 from repro.expander.expander import Expander
 from repro.modules.registry import CompiledModule, Export, ModuleRegistry
@@ -25,8 +31,16 @@ from repro.syn.syntax import Syntax
 def compile_module(
     registry: ModuleRegistry, path: str, lang_name: str, forms: list[Syntax]
 ) -> CompiledModule:
+    """Compile one module, collecting *all* diagnostics before failing.
+
+    On any error the raise happens at the end of compilation: a single
+    problem re-raises its original exception (so callers keep seeing
+    ``TypeCheckError`` etc.), while several problems raise one
+    :class:`CompilationFailed` carrying every diagnostic.
+    """
     lang = registry.language(lang_name)
     ctx = ExpandContext(path, registry)
+    session = ctx.diagnostics
     push_context(ctx)
     try:
         expander = Expander(ctx)
@@ -54,11 +68,18 @@ def compile_module(
             raise ModuleError(
                 f"language {lang_name} does not provide #%module-begin"
             )
-        expanded = expander.expand_expr(whole, 0)
-        if core_form_of(expanded, 0) != "#%plain-module-begin":
-            raise SyntaxExpansionError(
-                "module expansion did not produce #%plain-module-begin", expanded
-            )
+        try:
+            expanded = expander.expand_expr(whole, 0)
+            if core_form_of(expanded, 0) != "#%plain-module-begin":
+                raise SyntaxExpansionError(
+                    "module expansion did not produce #%plain-module-begin", expanded
+                )
+        except CompilationFailed:
+            raise
+        except ReproError as err:
+            session.add_exception(err)
+            session.raise_if_errors()
+            raise  # pragma: no cover - raise_if_errors always raises here
 
         body_forms = []
         for item in expanded.e[1:]:
@@ -79,12 +100,18 @@ def compile_module(
             else:
                 provides.append(spec)
         for spec in provides:
-            binding = TABLE.resolve(spec.internal_id, spec.phase)
-            if binding is None:
-                raise SyntaxExpansionError(
-                    f"provide: unbound identifier: {spec.internal_id.e}",
-                    spec.internal_id,
-                )
+            try:
+                binding = TABLE.resolve(spec.internal_id, spec.phase)
+                if binding is None:
+                    raise SyntaxExpansionError(
+                        f"provide: unbound identifier: {spec.internal_id.e}",
+                        spec.internal_id,
+                    )
+            except FATAL_ERRORS:
+                raise
+            except ReproError as err:
+                session.add_exception(err)
+                continue
             meaning = ctx.meaning_of(binding)
             transformer = None
             if isinstance(meaning, TransformerMeaning) and callable(meaning.value):
@@ -94,6 +121,7 @@ def compile_module(
                 transformer = meaning.value
             exports[spec.external] = Export(spec.external, binding, transformer)
 
+        session.raise_if_errors()
         return CompiledModule(
             path=path,
             language=lang_name,

@@ -217,6 +217,8 @@ class ModuleRegistry:
         #: values provided by Python-implemented modules, preloaded into
         #: every namespace: binding key -> value
         self.py_values: dict[Any, Any] = {}
+        #: per-compilation macro-expansion step budget (None = default)
+        self.expansion_fuel: Optional[int] = None
         self.kernel_exports: dict[str, Export] = _kernel_exports()
 
     # -- registration ------------------------------------------------------
@@ -231,9 +233,15 @@ class ModuleRegistry:
         return binding
 
     def register_module_source(self, path: str, text: str) -> None:
+        from repro.diagnostics.session import DiagnosticSession
         from repro.reader.lang_line import read_module_source
 
-        lang, forms = read_module_source(text, path)
+        # The reader recovers after errors and collects every problem; a
+        # single problem re-raises the original ReaderError, several raise
+        # one CompilationFailed.
+        session = DiagnosticSession(path)
+        lang, forms = read_module_source(text, path, session=session)
+        session.raise_if_errors()
         self.register_module_forms(path, lang, forms)
 
     def register_module_forms(self, path: str, lang: str, forms: list[Any]) -> None:
@@ -257,13 +265,42 @@ class ModuleRegistry:
             raise ModuleError(f"unknown language: {name}")
         return lang
 
-    def get_compiled(self, path: str) -> CompiledModule:
+    @staticmethod
+    def _requirer_note(requirer: Optional[str], srcloc: Any = None) -> str:
+        if requirer is None:
+            return ""
+        if srcloc is not None:
+            return f" (required by {requirer} at {srcloc})"
+        return f" (required by {requirer})"
+
+    def get_compiled(
+        self,
+        path: str,
+        requirer: Optional[str] = None,
+        srcloc: Any = None,
+    ) -> CompiledModule:
+        """Compile (or fetch) a module — *transactionally*.
+
+        The outermost compilation snapshots the global binding TABLE and the
+        registry's compiled-module cache; if compilation fails, both roll
+        back, so a failed compile leaves no half-registered bindings behind
+        and re-registering fixed source compiles cleanly in the same
+        registry.
+
+        ``requirer``/``srcloc`` name the module (and source location) whose
+        require triggered this compilation, for error messages.
+        """
         cached = self.compiled.get(path)
         if cached is not None:
             return cached
         if path in self._compiling:
             cycle = " -> ".join(self._compiling + [path])
-            raise ModuleError(f"module dependency cycle: {cycle}")
+            raise ModuleError(
+                f"module dependency cycle: {cycle}"
+                f"{self._requirer_note(requirer, srcloc)}",
+                srcloc,
+                code="M003",
+            )
         source = self.sources.get(path)
         if source is None:
             # maybe it's an on-disk file not yet registered
@@ -273,20 +310,50 @@ class ModuleRegistry:
                 self.register_file(path)
                 source = self.sources[path]
             else:
-                raise ModuleError(f"module not found: {path}")
+                raise ModuleError(
+                    f"module not found: {path}"
+                    f"{self._requirer_note(requirer, srcloc)}",
+                    srcloc,
+                    code="M002",
+                )
         lang_name, forms = source
         from repro.modules.compiler import compile_module
+        from repro.syn.binding import TABLE
 
+        # only the outermost compilation opens a transaction: a nested
+        # (dependency) compile that succeeds must keep its bindings even if
+        # the outer module later fails — the outer rollback then also evicts
+        # the freshly compiled dependencies, whose macro-template bindings
+        # it removes, so a retry recompiles them from scratch.
+        transactional = not self._compiling
+        if transactional:
+            table_snapshot = TABLE.snapshot()
+            compiled_before = set(self.compiled)
         self._compiling.append(path)
         try:
             compiled = compile_module(self, path, lang_name, forms)
+        except BaseException:
+            if transactional:
+                TABLE.restore(table_snapshot)
+                for newly in set(self.compiled) - compiled_before:
+                    del self.compiled[newly]
+            raise
         finally:
             self._compiling.pop()
         self.compiled[path] = compiled
         return compiled
 
-    def resolve_module_path(self, spec: str, relative_to: Optional[str] = None) -> str:
-        """Resolve a require spec to a registry path."""
+    def resolve_module_path(
+        self,
+        spec: str,
+        relative_to: Optional[str] = None,
+        srcloc: Any = None,
+    ) -> str:
+        """Resolve a require spec to a registry path.
+
+        ``relative_to`` is the requiring module's path; unresolvable specs
+        name it (and the require form's location) in the error.
+        """
         if spec in self.sources or spec in self.compiled:
             return spec
         if relative_to is not None:
@@ -300,7 +367,12 @@ class ModuleRegistry:
 
         if os.path.exists(spec):
             return os.path.abspath(spec)
-        raise ModuleError(f"cannot resolve module: {spec}")
+        raise ModuleError(
+            f"cannot resolve module: {spec}"
+            f"{self._requirer_note(relative_to, srcloc)}",
+            srcloc,
+            code="M002",
+        )
 
     # -- namespaces ---------------------------------------------------------
 

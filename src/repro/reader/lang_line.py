@@ -4,10 +4,11 @@ it is written in" as the first line of the module)."""
 from __future__ import annotations
 
 import re
-from typing import Optional
+from typing import Any, Optional
 
 from repro.errors import ReaderError
 from repro.reader.reader import read_string_all
+from repro.syn.srcloc import SrcLoc
 from repro.syn.syntax import Syntax
 
 _LANG_RE = re.compile(r"^#lang[ \t]+([A-Za-z0-9/_+.-]+)[ \t]*(\r?\n|$)")
@@ -33,9 +34,20 @@ def split_lang_line(text: str, source: str = "<string>") -> tuple[Optional[str],
     return None, text
 
 
-def read_module_source(text: str, source: str = "<string>") -> tuple[str, list[Syntax]]:
-    """Read a ``#lang`` module file: returns (language name, body forms)."""
+def read_module_source(
+    text: str, source: str = "<string>", session: Any = None
+) -> tuple[str, list[Syntax]]:
+    """Read a ``#lang`` module file: returns (language name, body forms).
+
+    With a diagnostic ``session``, reader errors in the body are collected
+    there (reading continues at the next top-level form) instead of aborting
+    at the first one.
+    """
     lang, body = split_lang_line(text, source)
     if lang is None:
-        raise ReaderError(f"{source}: module must start with a #lang line")
-    return lang, read_string_all(body, source)
+        raise ReaderError(
+            "module must start with a #lang line",
+            SrcLoc(source, 1, 0),
+            code="R005",
+        )
+    return lang, read_string_all(body, source, session=session)

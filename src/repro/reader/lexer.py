@@ -22,13 +22,14 @@ UNSYNTAX = "unsyntax"
 UNSYNTAX_SPLICING = "unsyntax-splicing"
 DATUM_COMMENT = "datum-comment"
 ATOM = "atom"  # symbol/number/boolean — classified by the reader
+SYMBOL = "symbol"  # |bar-quoted| symbol: always a symbol, never reclassified
 STRING = "string"
 CHAR = "char"
 KEYWORD = "keyword"
 DOT = "dot"
 EOF_TOK = "eof"
 
-_DELIMITERS = set("()[]\";'`, \t\n\r")
+_DELIMITERS = set("()[]\";'`,| \t\n\r")
 
 
 @dataclass(frozen=True, slots=True)
@@ -130,16 +131,42 @@ class Lexer:
             return Token(UNQUOTE, ",", loc)
         if ch == '"':
             return self._string(loc)
+        if ch == "|":
+            return self._bar_symbol(loc)
         if ch == "#":
             return self._hash(loc)
         return self._atom(loc)
+
+    def _bar_symbol(self, loc: SrcLoc) -> Token:
+        """``|...|``: a symbol whose name may contain any character.
+
+        Inside the bars ``\\|`` and ``\\\\`` escape a literal bar/backslash;
+        everything else (including whitespace and parens) is taken verbatim.
+        """
+        self._advance()  # opening bar
+        out: list[str] = []
+        while True:
+            ch = self._peek()
+            if not ch:
+                raise ReaderError("unterminated |symbol|", loc, code="R004")
+            if ch == "\\":
+                self._advance()
+                escaped = self._peek()
+                if not escaped:
+                    raise ReaderError("unterminated |symbol|", loc, code="R004")
+                out.append(self._advance())
+                continue
+            if ch == "|":
+                self._advance()
+                return Token(SYMBOL, "".join(out), loc)
+            out.append(self._advance())
 
     def _string(self, loc: SrcLoc) -> Token:
         self._advance()  # opening quote
         out: list[str] = []
         while True:
             if self.pos >= len(self.text):
-                raise ReaderError("unterminated string", loc)
+                raise ReaderError("unterminated string", loc, code="R003")
             ch = self._advance()
             if ch == '"':
                 break

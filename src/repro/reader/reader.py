@@ -74,10 +74,19 @@ def classify_atom(text: str, loc: SrcLoc) -> Any:
 
 
 class Reader:
-    def __init__(self, text: str, source: str = "<string>") -> None:
+    def __init__(
+        self, text: str, source: str = "<string>", session: Any = None
+    ) -> None:
+        from repro.diagnostics.source import SOURCES
+
+        SOURCES.register(source, text)
         self._lexer = lx.Lexer(text, source)
         self._pending: Optional[lx.Token] = None
         self.source = source
+        #: optional DiagnosticSession; when set, `read` recovers from reader
+        #: errors (recording them) and resynchronizes at the next plausible
+        #: top-level form instead of raising on the first problem.
+        self.session = session
 
     def _next(self) -> lx.Token:
         if self._pending is not None:
@@ -90,17 +99,47 @@ class Reader:
         self._pending = tok
 
     def read(self) -> Optional[Syntax]:
-        """Read one datum; None at end of input."""
+        """Read one datum; None at end of input.
+
+        With a diagnostic session attached, a malformed datum is recorded
+        and skipped: the reader resynchronizes at the next top-level form
+        and keeps reading, so one pass reports every lexical problem.
+        """
         while True:
-            tok = self._next()
+            try:
+                tok = self._next()
+                if tok.kind == lx.EOF_TOK:
+                    return None
+                if tok.kind == lx.DATUM_COMMENT:
+                    commented = self.read()
+                    if commented is None:
+                        raise ReaderError("expected datum after #;", tok.srcloc)
+                    continue
+                return self._read_after(tok)
+            except ReaderError as err:
+                if self.session is None:
+                    raise
+                self.session.add_exception(err)
+                self._resync()
+
+    def _resync(self) -> None:
+        """Skip to a plausible top-level recovery point after an error:
+        end of input, or an opening paren in column 0 (a new top-level
+        form), which is pushed back for the next `read`."""
+        self._pending = None
+        while True:
+            before = self._lexer.pos
+            try:
+                tok = self._lexer.next_token()
+            except ReaderError:
+                if self._lexer.pos == before:  # guarantee progress
+                    self._lexer._advance()
+                continue  # the bad region may contain further lex errors
             if tok.kind == lx.EOF_TOK:
-                return None
-            if tok.kind == lx.DATUM_COMMENT:
-                commented = self.read()
-                if commented is None:
-                    raise ReaderError("expected datum after #;", tok.srcloc)
-                continue
-            return self._read_after(tok)
+                return
+            if tok.kind == lx.LPAREN and tok.srcloc.column == 0:
+                self._push_back(tok)
+                return
 
     def _read_after(self, tok: lx.Token) -> Syntax:
         kind = tok.kind
@@ -124,6 +163,8 @@ class Reader:
                 raise ReaderError(f"expected datum after {tok.text}", tok.srcloc)
             head = Syntax(Symbol(_QUOTE_SYMBOLS[kind]), srcloc=tok.srcloc)
             return Syntax((head, inner), srcloc=tok.srcloc.merge(inner.srcloc))
+        if kind == lx.SYMBOL:
+            return Syntax(Symbol(tok.text), srcloc=tok.srcloc)
         if kind == lx.ATOM:
             return Syntax(classify_atom(tok.text, tok.srcloc), srcloc=tok.srcloc)
         raise ReaderError(f"unexpected token: {tok.text}", tok.srcloc)  # pragma: no cover
@@ -137,7 +178,9 @@ class Reader:
         while True:
             tok = self._next()
             if tok.kind == lx.EOF_TOK:
-                raise ReaderError("unexpected end of input in list", open_tok.srcloc)
+                raise ReaderError(
+                    "unexpected end of input in list", open_tok.srcloc, code="R002"
+                )
             if tok.kind == lx.RPAREN:
                 if tok.paren != closer:
                     raise ReaderError(
@@ -175,7 +218,9 @@ class Reader:
         while True:
             tok = self._next()
             if tok.kind == lx.EOF_TOK:
-                raise ReaderError("unexpected end of input in vector", open_tok.srcloc)
+                raise ReaderError(
+                    "unexpected end of input in vector", open_tok.srcloc, code="R002"
+                )
             if tok.kind == lx.RPAREN:
                 break
             if tok.kind == lx.DATUM_COMMENT:
@@ -188,9 +233,15 @@ class Reader:
         return Syntax(VectorDatum(tuple(items)), srcloc=open_tok.srcloc)
 
 
-def read_string_all(text: str, source: str = "<string>") -> list[Syntax]:
-    """Read every datum in ``text``."""
-    reader = Reader(text, source)
+def read_string_all(
+    text: str, source: str = "<string>", session: Any = None
+) -> list[Syntax]:
+    """Read every datum in ``text``.
+
+    With a diagnostic ``session``, reader errors are collected there and
+    reading continues at the next top-level form.
+    """
+    reader = Reader(text, source, session=session)
     out: list[Syntax] = []
     while True:
         stx = reader.read()

@@ -47,6 +47,34 @@ def _write_seq(items: list[str]) -> str:
     return " ".join(items)
 
 
+# characters that end an atom in the lexer (plus the bar/backslash the
+# |symbol| syntax itself uses)
+_SYMBOL_BREAKERS = set("()[]\";'`,| \t\n\r\\#")
+
+
+def write_symbol(name: str) -> str:
+    """Render a symbol so it reads back as the same symbol.
+
+    Most names print bare; a name the reader would misparse — one that
+    lexes as a number/boolean, contains a delimiter, or starts like a hash
+    syntax — prints in ``|...|`` bars (with ``\\|``/``\\\\`` escapes), like
+    Racket's ``write``.
+    """
+    body = name[2:] if name.startswith("#%") else name
+    if name and name != "." and not (_SYMBOL_BREAKERS & set(body)):
+        from repro.reader.reader import classify_atom
+        from repro.syn.srcloc import SrcLoc
+
+        try:
+            reread = classify_atom(name, SrcLoc("<write>", 1, 0))
+        except Exception:
+            reread = None
+        if isinstance(reread, v.Symbol):
+            return name
+    escaped = name.replace("\\", "\\\\").replace("|", "\\|")
+    return f"|{escaped}|"
+
+
 def write_value(x: Any, display: bool = False) -> str:
     """Render a value; ``display`` mode omits string quotes and char syntax."""
     if x is True:
@@ -72,7 +100,7 @@ def write_value(x: Any, display: bool = False) -> str:
         out.append('"')
         return "".join(out)
     if isinstance(x, v.Symbol):
-        return x.name
+        return x.name if display else write_symbol(x.name)
     if isinstance(x, v.Keyword):
         return f"#:{x.name}"
     if isinstance(x, v.Char):

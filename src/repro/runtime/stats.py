@@ -10,7 +10,10 @@ operations. To make the optimizer's effect observable *deterministically*
 - ``tag_checks`` — runtime type tests performed by safe primitives such as
   ``car`` or ``vector-ref``;
 - ``unsafe_ops`` — calls to unsafe type-specialized primitives;
-- ``contract_checks`` — dynamic contract checks at typed/untyped boundaries.
+- ``contract_checks`` — dynamic contract checks at typed/untyped boundaries;
+- ``expansion_steps`` — macro transformer applications performed by the
+  expander (compile-time work, tracked so benchmark runs can watch the
+  expander's cost and regressions in macro-heavy programs).
 
 Benchmarks report these alongside wall-clock time.
 """
@@ -26,12 +29,14 @@ class Stats:
     tag_checks: int = 0
     unsafe_ops: int = 0
     contract_checks: int = 0
+    expansion_steps: int = 0
 
     def reset(self) -> None:
         self.generic_dispatches = 0
         self.tag_checks = 0
         self.unsafe_ops = 0
         self.contract_checks = 0
+        self.expansion_steps = 0
 
     def snapshot(self) -> dict[str, int]:
         return {
@@ -39,6 +44,7 @@ class Stats:
             "tag_checks": self.tag_checks,
             "unsafe_ops": self.unsafe_ops,
             "contract_checks": self.contract_checks,
+            "expansion_steps": self.expansion_steps,
         }
 
 

@@ -71,8 +71,10 @@ def _register() -> None:
 
         return type_to_contract(parse_type_datum(serialized))
 
-    def prim_contract(c: Any, value: Any, positive: Any, negative: Any) -> Any:
-        from repro.contracts.contract import Contract
+    def prim_contract(
+        c: Any, value: Any, positive: Any, negative: Any, loc: Any = None
+    ) -> Any:
+        from repro.contracts.contract import Contract, propagate_srcloc
 
         if not isinstance(c, Contract):
             raise WrongTypeError("contract", "contract?", c)
@@ -80,7 +82,26 @@ def _register() -> None:
         def party(x: Any) -> str:
             return x.name if isinstance(x, Symbol) else str(x)
 
+        # optional 5th argument: a quoted (source line column) list naming
+        # the boundary, stamped onto the contract so violations carry a srcloc
+        srcloc = _parse_srcloc_datum(loc)
+        if srcloc is not None:
+            propagate_srcloc(c, srcloc)
         return c.attach(value, party(positive), party(negative))
+
+    def _parse_srcloc_datum(loc: Any) -> Any:
+        from repro.runtime.values import Pair, to_list
+        from repro.syn.srcloc import SrcLoc
+
+        if not isinstance(loc, Pair):
+            return None
+        try:
+            source, line, column = to_list(loc)
+        except (ValueError, TypeError):
+            return None
+        if not (isinstance(source, str) and isinstance(line, int) and isinstance(column, int)):
+            return None
+        return SrcLoc(source, line, column)
 
     def prim_declare_named_type(name: Any, serialized: Any) -> Any:
         from repro.expander.env import current_context
@@ -98,7 +119,7 @@ def _register() -> None:
     add_prim("lookup-type", prim_lookup_type, 1, 1)
     add_prim("typed-context?", prim_typed_context, 0, 0)
     add_prim("type->contract", prim_type_to_contract, 1, 1)
-    add_prim("contract", prim_contract, 4, 4)
+    add_prim("contract", prim_contract, 4, 5)
 
 
 _register()

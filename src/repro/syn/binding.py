@@ -128,6 +128,26 @@ class BindingTable:
             return None
         return best
 
+    # -- transactional compilation -----------------------------------------
+
+    def snapshot(self) -> dict[tuple[Symbol, int], int]:
+        """An O(keys) snapshot of the table's shape.
+
+        Entries are only ever *appended* (never mutated in place), so the
+        length of each entry list fully determines the table's state; a
+        failed compilation rolls back by truncating (see :meth:`restore`).
+        """
+        return {key: len(entries) for key, entries in self._entries.items()}
+
+    def restore(self, snap: dict[tuple[Symbol, int], int]) -> None:
+        """Roll the table back to a snapshot, dropping newer additions."""
+        for key in [k for k in self._entries if k not in snap]:
+            del self._entries[key]
+        for key, length in snap.items():
+            entries = self._entries.get(key)
+            if entries is not None and len(entries) > length:
+                del entries[length:]
+
     def resolve_or_raise(self, ident: Syntax, phase: int = 0) -> Binding:
         binding = self.resolve(ident, phase)
         if binding is None:

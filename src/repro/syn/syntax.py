@@ -203,6 +203,35 @@ def syntax_to_list(stx: Syntax) -> Optional[list[Syntax]]:
     return None
 
 
+_SYNTHETIC_SOURCES = ("<template>", "<generated>")
+
+
+def best_srcloc(stx: Any) -> Optional[SrcLoc]:
+    """The most useful source location in a syntax tree.
+
+    The node's own location, unless it is synthetic (template- or
+    expander-introduced); then the first real location found among its
+    descendants — template fills retain the use site's sub-syntax, so a
+    macro-produced wrapper usually contains user syntax that still points
+    at the program."""
+    loc = getattr(stx, "srcloc", None)
+    if loc is not None and loc.source not in _SYNTHETIC_SOURCES:
+        return loc
+    e = getattr(stx, "e", None)
+    children: tuple = ()
+    if isinstance(e, tuple):
+        children = e
+    elif isinstance(e, ImproperList):
+        children = (*e.items, e.tail)
+    elif isinstance(e, VectorDatum):
+        children = e.items
+    for child in children:
+        found = best_srcloc(child)
+        if found is not None and found.source not in _SYNTHETIC_SOURCES:
+            return found
+    return loc
+
+
 # --- datum printing (for error messages and tests) ------------------------
 
 

@@ -99,10 +99,17 @@ class Repl:
             try:
                 stdout.write(self.eval_input(line))
             except ReproError as error:
+                # reader / expansion / type / contract / runtime errors (and
+                # aggregated CompilationFailed reports, whose message carries
+                # every rendered diagnostic) all land here; the accumulated
+                # module body is unchanged, so the session continues
                 stdout.write(f"error: {error}\n")
-                # roll back: self.forms unchanged on error already
+            except RecursionError:
+                stdout.write("error: recursion limit exceeded\n")
             except KeyboardInterrupt:  # pragma: no cover
                 stdout.write("\n")
+            except Exception as error:  # never let one input kill the REPL
+                stdout.write(f"error: internal: {type(error).__name__}: {error}\n")
 
 
 def main(argv: Optional[list[str]] = None) -> int:

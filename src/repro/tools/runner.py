@@ -13,6 +13,8 @@ import itertools
 from typing import Any, Optional
 
 from repro.core.namespace import Namespace
+from repro.diagnostics import CompileResult, Diagnostic
+from repro.errors import CompilationFailed, ReproError
 from repro.modules.instantiate import instantiate_module
 from repro.modules.registry import ModuleRegistry
 from repro.runtime.ports import capture_output
@@ -21,10 +23,18 @@ _ANON = itertools.count()
 
 
 class Runtime:
-    """A registry of languages and modules plus a runtime namespace factory."""
+    """A registry of languages and modules plus a runtime namespace factory.
 
-    def __init__(self) -> None:
+    ``expansion_fuel`` bounds the number of macro-expansion steps spent per
+    compilation (default: ``repro.expander.expander.DEFAULT_FUEL``); runaway
+    macros fail with :class:`~repro.errors.ExpansionLimitError` instead of
+    exhausting the Python stack.
+    """
+
+    def __init__(self, *, expansion_fuel: Optional[int] = None) -> None:
         self.registry = ModuleRegistry()
+        if expansion_fuel is not None:
+            self.registry.expansion_fuel = expansion_fuel
         self._install_languages()
 
     def _install_languages(self) -> None:
@@ -54,9 +64,24 @@ class Runtime:
 
     # -- compilation / execution ----------------------------------------------
 
-    def compile(self, path: str) -> Any:
-        """Compile a module (and its dependencies); returns the CompiledModule."""
-        return self.registry.get_compiled(path)
+    def compile(self, path: str, *, diagnostics: bool = False) -> Any:
+        """Compile a module (and its dependencies); returns the CompiledModule.
+
+        With ``diagnostics=True``, never raises for compilation problems:
+        returns a :class:`~repro.diagnostics.CompileResult` whose
+        ``diagnostics`` list holds every error the pipeline collected
+        (``result.ok`` distinguishes success), and whose ``module`` is the
+        CompiledModule on success.
+        """
+        if not diagnostics:
+            return self.registry.get_compiled(path)
+        try:
+            module = self.registry.get_compiled(path)
+        except CompilationFailed as err:
+            return CompileResult(None, list(err.diagnostics))
+        except ReproError as err:
+            return CompileResult(None, [Diagnostic.from_error(err)])
+        return CompileResult(module, [])
 
     def make_namespace(self) -> Namespace:
         return self.registry.make_runtime_namespace()
@@ -94,6 +119,15 @@ def main(argv: Optional[list[str]] = None) -> int:
         print("usage: python -m repro <file.rkt>", file=sys.stderr)
         return 2
     rt = Runtime()
-    path = rt.register_file(args[0])
-    rt.instantiate(path)
+    try:
+        path = rt.register_file(args[0])
+        rt.instantiate(path)
+    except ReproError as err:
+        # a platform error (parse, expansion, type, module, runtime): render
+        # the diagnostic report, not a Python traceback
+        print(err, file=sys.stderr)
+        return 1
+    except OSError as err:
+        print(f"error: cannot read {args[0]}: {err.strerror or err}", file=sys.stderr)
+        return 1
     return 0
