@@ -1,0 +1,98 @@
+"""Cold-vs-warm compiled-artifact cache benchmark.
+
+Measures compilation of a generated 400-definition module (the ISSUE's
+acceptance workload) from source (cold) and from the persistent artifact
+cache (warm), and writes the numbers — wall-clock plus the deterministic
+hit/miss/expansion counters — to ``BENCH_cache.json`` at the repo root.
+
+Usage::
+
+    python benchmarks/bench_cache.py [--defs 400] [--repeats 3] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+if __package__ in (None, ""):
+    sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    sys.path.insert(
+        0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    )
+
+from repro import Runtime
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def big_module(n_defs: int) -> str:
+    defs = "\n".join(f"(define (f{i} x) (+ x {i}))" for i in range(n_defs))
+    return f"#lang racket\n{defs}\n(displayln (f{n_defs - 1} 1))\n"
+
+
+def time_compile(source: str, cache_dir: str) -> tuple[float, dict[str, int]]:
+    with Runtime(cache_dir=cache_dir) as rt:
+        rt.register_module("big", source)
+        start = time.perf_counter()
+        rt.compile("big")
+        elapsed = time.perf_counter() - start
+        return elapsed, rt.stats.snapshot()
+
+
+def run(n_defs: int, repeats: int) -> dict:
+    source = big_module(n_defs)
+    cache_dir = tempfile.mkdtemp(prefix="repro-bench-cache-")
+    try:
+        colds, warms = [], []
+        cold_stats = warm_stats = {}
+        for _ in range(repeats):
+            shutil.rmtree(cache_dir, ignore_errors=True)
+            cold, cold_stats = time_compile(source, cache_dir)
+            warm, warm_stats = time_compile(source, cache_dir)
+            colds.append(cold)
+            warms.append(warm)
+        cold_best, warm_best = min(colds), min(warms)
+        return {
+            "benchmark": "compiled-artifact-cache",
+            "module_definitions": n_defs,
+            "repeats": repeats,
+            "cold_seconds": cold_best,
+            "warm_seconds": warm_best,
+            "speedup": cold_best / warm_best if warm_best else None,
+            "cold_counters": cold_stats,
+            "warm_counters": warm_stats,
+        }
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--defs", type=int, default=400)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--out", default=os.path.join(REPO_ROOT, "BENCH_cache.json")
+    )
+    args = parser.parse_args(argv)
+
+    result = run(args.defs, args.repeats)
+    with open(args.out, "w", encoding="utf-8") as f:
+        json.dump(result, f, indent=2)
+        f.write("\n")
+    print(
+        f"cold {result['cold_seconds']:.4f}s  warm {result['warm_seconds']:.4f}s  "
+        f"speedup {result['speedup']:.1f}x  "
+        f"(warm expansion steps: {result['warm_counters']['expansion_steps']})"
+    )
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -30,7 +30,6 @@ from repro.core.compile import COMPILE_CONFIG
 from repro.langs.typed import OPTIMIZER_CONFIG
 from repro.langs.typed.optimizer import ALL_RULES
 from repro.runtime.ports import capture_output
-from repro.runtime.stats import STATS
 
 CONFIGURATIONS = ("untyped", "typed/opt", "typed/no-opt", "baseline")
 
@@ -100,12 +99,14 @@ class Harness:
             COMPILE_CONFIG["inline_primitives"] = inline
             try:
                 ns = rt.make_namespace()
-                STATS.reset()
+                # per-Runtime counters: immune to other Runtimes created
+                # between prepare() and the timed run
+                rt.stats.reset()
                 with capture_output() as port:
                     start = time.perf_counter()
                     rt.instantiate(path, ns)
                     elapsed = time.perf_counter() - start
-                snapshot = STATS.snapshot()
+                snapshot = rt.stats.snapshot()
             finally:
                 COMPILE_CONFIG["inline_primitives"] = saved_inline
             output = port.contents()

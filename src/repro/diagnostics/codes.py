@@ -8,6 +8,7 @@ test suites) can match on them instead of on message text. The namespaces:
 - ``T00x`` — typechecker errors
 - ``M00x`` — module system errors
 - ``C00x`` — contract violations
+- ``C10x`` — compiled-artifact cache warnings
 - ``X00x`` — runtime errors and aggregates
 """
 
@@ -34,6 +35,10 @@ CODES: dict[str, str] = {
     "M003": "module dependency cycle",
     # contracts
     "C001": "contract violation",
+    # compiled-artifact cache (warnings: the pipeline degrades to recompile)
+    "C101": "corrupt compiled artifact (recompiled from source)",
+    "C102": "stale compiled artifact (recompiled from source)",
+    "C103": "compiled artifact could not be stored",
     # runtime / aggregate
     "X001": "runtime error",
     "X002": "wrong runtime type",

@@ -54,6 +54,30 @@ def _parse_list(items: list[Syntax], tail, literals: frozenset[str]) -> pat.PLis
     )
 
 
+class SyntaxRulesTransformer:
+    """A compiled ``syntax-rules`` macro: try each rule in order.
+
+    A class (rather than a closure) so compiled-module artifacts can
+    serialize object-language macros — the rules are plain data (compiled
+    patterns plus template syntax objects).
+    """
+
+    __slots__ = ("rules",)
+
+    def __init__(self, rules: list[tuple[pat.Pattern, Syntax]]) -> None:
+        self.rules = rules
+
+    def __call__(self, stx: Syntax) -> Syntax:
+        for compiled, template in self.rules:
+            m = compiled.match(stx)
+            if m is not None:
+                return pat._fill(template, None, m)
+        raise SyntaxExpansionError("no matching syntax-rules pattern", stx)
+
+    def __reduce__(self):
+        return (SyntaxRulesTransformer, (self.rules,))
+
+
 def make_syntax_rules_transformer(form: Syntax) -> Callable[[Syntax], Syntax]:
     """Compile ``(syntax-rules (lit ...) [pattern template] ...)``."""
     items = form.e
@@ -83,11 +107,4 @@ def make_syntax_rules_transformer(form: Syntax) -> Callable[[Syntax], Syntax]:
         compiled = pat.Pattern("<syntax-rules>", node, variables)
         rules.append((compiled, template))
 
-    def transform(stx: Syntax) -> Syntax:
-        for compiled, template in rules:
-            m = compiled.match(stx)
-            if m is not None:
-                return pat._fill(template, None, m)
-        raise SyntaxExpansionError("no matching syntax-rules pattern", stx)
-
-    return transform
+    return SyntaxRulesTransformer(rules)

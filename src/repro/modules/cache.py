@@ -1,0 +1,324 @@
+"""Persistent compiled-module artifacts — the §5 ``compiled/*.zo`` machinery.
+
+§5 of the paper claims that a language implemented as a library can persist
+its *static semantics* into a separable compiled artifact: Racket writes
+fully-expanded modules, their export tables, and their replayable phase-1
+code into ``compiled/*.zo`` files, and a later run (or a different process)
+requires the module without re-expanding it. This module reproduces that:
+
+- a :class:`ModuleCache` stores each :class:`~repro.modules.registry.CompiledModule`
+  (core AST, export table, replayable :class:`SyntaxDecl` list, and the
+  module's binding-table fragment) as one ``<hash>.zo`` file under a cache
+  directory (default ``.repro-cache/``);
+- artifacts are keyed by a **content hash** of (cache-format version, module
+  path, ``#lang``, source text), and validated against the **full keys** of
+  every dependency — the full key folds the dependencies' own full keys in
+  transitively, so editing a required module invalidates all of its
+  requirers without touching their files;
+- corrupt or stale artifacts degrade to a recompile plus a ``C``-series
+  warning diagnostic (C101 corrupt / C102 stale / C103 store failed), never
+  an error.
+
+Serialization notes
+-------------------
+
+Artifacts are pickles with three persistent-identity rules, because the
+platform's hygiene machinery is identity-based:
+
+- **Symbols/keywords** re-intern on load (pattern matching compares them
+  with ``is``).
+- **The core scope** and **language anchor scopes** map to the loading
+  process's own instances (they are re-created by every Runtime, and cached
+  macro templates must keep resolving to the language's bindings).
+- **Every other scope** is named by a *persistent token* minted when the
+  scope is first serialized and interned process-wide on load, so two
+  artifacts that share a scope (a module and its requirer, compiled in the
+  same session) agree on its identity after both are loaded.
+
+``LocalBinding`` uids are re-minted on load (see ``LocalBinding.__reduce__``)
+to avoid key collisions with bindings created in the loading process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import os
+import pickle
+import weakref
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.diagnostics.diagnostic import Diagnostic
+from repro.runtime.stats import STATS
+from repro.runtime.values import Keyword, Symbol
+from repro.syn.binding import TABLE
+from repro.syn.scopes import Scope
+
+if TYPE_CHECKING:
+    from repro.modules.registry import CompiledModule, ModuleRegistry
+
+#: bump when the artifact layout (or anything it pickles) changes shape;
+#: part of every content hash, so old artifacts simply stop matching
+FORMAT_VERSION = 1
+
+#: default cache directory, relative to the working directory (the analogue
+#: of Racket's ``compiled/``); overridable via Runtime(cache_dir=) and the
+#: REPRO_CACHE_DIR environment variable
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+#: process-wide intern table: persistent scope token -> live Scope. Weak, so
+#: scopes vanish once nothing loaded references them; as long as any loaded
+#: artifact holds a scope, later loads of artifacts sharing it agree on
+#: identity.
+_SCOPE_INTERN: "weakref.WeakValueDictionary[str, Scope]" = weakref.WeakValueDictionary()
+
+
+def default_cache_dir() -> str:
+    return os.environ.get(ENV_CACHE_DIR) or DEFAULT_CACHE_DIR
+
+
+def content_hash(*parts: str) -> str:
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(part.encode("utf-8"))
+        h.update(b"\0")
+    return h.hexdigest()
+
+
+class _ArtifactPickler(pickle.Pickler):
+    """Pickler assigning persistent identities to scopes and symbols."""
+
+    def __init__(self, file: Any, token_prefix: str) -> None:
+        super().__init__(file, protocol=4)
+        self._token_prefix = token_prefix
+        self._seq = 0
+
+    def persistent_id(self, obj: Any) -> Optional[tuple]:
+        if isinstance(obj, Scope):
+            if obj.kind == "core":
+                return ("core-scope",)
+            if obj.kind.startswith("lang:"):
+                return ("lang-scope", obj.kind[len("lang:"):])
+            if obj.token is None:
+                self._seq += 1
+                obj.token = f"{self._token_prefix}#{self._seq}"
+                _SCOPE_INTERN[obj.token] = obj
+            return ("scope", obj.token, obj.kind)
+        if isinstance(obj, Symbol):
+            return ("sym", obj.name)
+        if isinstance(obj, Keyword):
+            return ("kw", obj.name)
+        return None
+
+
+class _ArtifactUnpickler(pickle.Unpickler):
+    """Unpickler resolving the persistent identities of `_ArtifactPickler`."""
+
+    def __init__(self, file: Any, registry: "ModuleRegistry") -> None:
+        super().__init__(file)
+        self._registry = registry
+
+    def persistent_load(self, pid: tuple) -> Any:
+        tag = pid[0]
+        if tag == "core-scope":
+            from repro.expander.kernel_scope import CORE_SCOPE
+
+            return CORE_SCOPE
+        if tag == "lang-scope":
+            lang = self._registry.languages.get(pid[1])
+            if lang is None:
+                raise pickle.UnpicklingError(
+                    f"artifact references unknown language: {pid[1]}"
+                )
+            return lang.scope
+        if tag == "scope":
+            token, kind = pid[1], pid[2]
+            scope = _SCOPE_INTERN.get(token)
+            if scope is None:
+                scope = Scope(kind)
+                scope.token = token
+                _SCOPE_INTERN[token] = scope
+            return scope
+        if tag == "sym":
+            return Symbol(pid[1])
+        if tag == "kw":
+            return Keyword(pid[1])
+        raise pickle.UnpicklingError(f"unknown persistent id: {pid!r}")
+
+
+class ModuleCache:
+    """A directory of ``<content-hash>.zo`` compiled-module artifacts."""
+
+    def __init__(self, cache_dir: Optional[str] = None) -> None:
+        self.dir = cache_dir or default_cache_dir()
+        #: C-series warnings accumulated by load/store failures; surfaced by
+        #: the CLI and inspectable as ``runtime.cache.diagnostics``
+        self.diagnostics: list[Diagnostic] = []
+
+    # -- paths and keys -----------------------------------------------------
+
+    def artifact_path(self, path: str, lang: str, source_hash: str) -> str:
+        stem = content_hash(str(FORMAT_VERSION), path, lang, source_hash)[:40]
+        return os.path.join(self.dir, f"{stem}.zo")
+
+    # -- diagnostics --------------------------------------------------------
+
+    def _warn(self, code: str, message: str) -> None:
+        self.diagnostics.append(
+            Diagnostic(severity="warning", code=code, message=message)
+        )
+
+    # -- load ---------------------------------------------------------------
+
+    def load(
+        self, registry: "ModuleRegistry", path: str, lang: str
+    ) -> Optional["CompiledModule"]:
+        """Load ``path`` from its artifact, or None to fall back to a compile.
+
+        Validates the artifact header and every recorded dependency's full
+        key (compiling or cache-loading the dependencies in the process);
+        on success installs the module's binding-table fragment and counts a
+        hit. All failure modes count a miss and return None.
+        """
+        source_hash = registry.source_hash(path)
+        file = self.artifact_path(path, lang, source_hash)
+        if not os.path.exists(file):
+            STATS.cache_misses += 1
+            return None
+        try:
+            with open(file, "rb") as f:
+                artifact = _ArtifactUnpickler(f, registry).load()
+            if (
+                not isinstance(artifact, dict)
+                or artifact.get("format") != FORMAT_VERSION
+                or artifact.get("path") != path
+                or artifact.get("lang") != lang
+            ):
+                raise ValueError("artifact header mismatch")
+        except Exception as err:
+            self._warn(
+                "C101",
+                f"corrupt compiled artifact for {path} "
+                f"({type(err).__name__}: {err}); recompiling from source",
+            )
+            STATS.cache_misses += 1
+            try:
+                os.unlink(file)
+            except OSError:
+                pass
+            return None
+
+        for dep_path, dep_key in artifact["deps"]:
+            try:
+                registry.get_compiled(dep_path, requirer=path)
+            except Exception as err:
+                self._warn(
+                    "C102",
+                    f"stale compiled artifact for {path}: dependency "
+                    f"{dep_path} is unavailable ({type(err).__name__}); "
+                    f"recompiling from source",
+                )
+                STATS.cache_invalidations += 1
+                STATS.cache_misses += 1
+                return None
+            if registry.full_key_of(dep_path) != dep_key:
+                self._warn(
+                    "C102",
+                    f"stale compiled artifact for {path}: dependency "
+                    f"{dep_path} changed; recompiling from source",
+                )
+                STATS.cache_invalidations += 1
+                STATS.cache_misses += 1
+                return None
+
+        module: "CompiledModule" = artifact["module"]
+        TABLE.install_entries(module.table_fragment)
+        registry.set_full_key(path, artifact["key"])
+        STATS.cache_hits += 1
+        return module
+
+    # -- store --------------------------------------------------------------
+
+    def store(
+        self,
+        registry: "ModuleRegistry",
+        path: str,
+        lang: str,
+        module: "CompiledModule",
+        full_key: str,
+    ) -> bool:
+        """Write ``module``'s artifact; best-effort (False on failure)."""
+        deps = []
+        for dep_path in module.requires:
+            dep_key = registry.full_key_of(dep_path)
+            if dep_key is None:
+                self._warn(
+                    "C103",
+                    f"not caching {path}: dependency {dep_path} has no "
+                    f"content key",
+                )
+                return False
+            deps.append((dep_path, dep_key))
+        artifact = {
+            "format": FORMAT_VERSION,
+            "path": path,
+            "lang": lang,
+            "key": full_key,
+            "deps": deps,
+            "module": module,
+        }
+        file = self.artifact_path(path, lang, registry.source_hash(path))
+        tmp = f"{file}.tmp.{os.getpid()}"
+        try:
+            # serialize fully before touching the filesystem, so an
+            # unpicklable module (e.g. one re-exporting a Python-implemented
+            # macro) leaves no partial file behind
+            buf = io.BytesIO()
+            _ArtifactPickler(buf, token_prefix=full_key[:16]).dump(artifact)
+            os.makedirs(self.dir, exist_ok=True)
+            with open(tmp, "wb") as f:
+                f.write(buf.getvalue())
+            os.replace(tmp, file)
+        except Exception as err:
+            self._warn(
+                "C103",
+                f"could not cache compiled artifact for {path} "
+                f"({type(err).__name__}: {err})",
+            )
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return False
+        STATS.cache_stores += 1
+        return True
+
+    # -- maintenance --------------------------------------------------------
+
+    def entries(self) -> list[tuple[str, int]]:
+        """(filename, size-in-bytes) for every artifact on disk."""
+        try:
+            names = sorted(os.listdir(self.dir))
+        except OSError:
+            return []
+        out = []
+        for name in names:
+            if name.endswith(".zo"):
+                try:
+                    out.append((name, os.path.getsize(os.path.join(self.dir, name))))
+                except OSError:
+                    continue
+        return out
+
+    def clear(self) -> int:
+        """Delete every artifact; returns how many were removed."""
+        removed = 0
+        for name, _size in self.entries():
+            try:
+                os.unlink(os.path.join(self.dir, name))
+                removed += 1
+            except OSError:
+                continue
+        return removed

@@ -42,93 +42,101 @@ def compile_module(
     ctx = ExpandContext(path, registry)
     session = ctx.diagnostics
     push_context(ctx)
-    try:
-        expander = Expander(ctx)
-        scopes = frozenset({ctx.module_scope})
-
-        # The language's exports form the module's base environment (§2.3),
-        # at phase 0 and — like `#lang racket`'s for-syntax self-import — at
-        # phase 1, so transformer bodies can use the language's own forms.
-        for name, export in lang.exports.items():
-            sym = Symbol(name)
-            TABLE.add(sym, scopes, export.binding, phase=0)
-            TABLE.add(sym, scopes, export.binding, phase=1)
-            if export.transformer is not None:
-                ctx.set_meaning(export.binding, TransformerMeaning(export.transformer))
-        for name, export in registry.kernel_exports.items():
-            if name not in lang.exports:
-                TABLE.add(Symbol(name), scopes, export.binding, phase=1)
-
-        body = [f.add_scope(ctx.module_scope) for f in forms]
-        srcloc = forms[0].srcloc if forms else None
-        mb_id = Syntax(Symbol("#%module-begin"), scopes, srcloc or Syntax(Symbol("x")).srcloc)
-        whole = Syntax((mb_id, *body), scopes, mb_id.srcloc)
-
-        if "#%module-begin" not in lang.exports:
-            raise ModuleError(
-                f"language {lang_name} does not provide #%module-begin"
-            )
+    # Record every binding-table entry this compilation adds (language
+    # imports into the module scope, definitions, macro expansions) as the
+    # module's *table fragment*: it ships inside the compiled artifact so a
+    # cache load can reinstall exactly these entries, and module eviction
+    # can remove exactly them. The recorder stack is innermost-only, so a
+    # nested dependency compile records into its own fragment, not ours.
+    with TABLE.record_additions() as fragment:
         try:
-            expanded = expander.expand_expr(whole, 0)
-            if core_form_of(expanded, 0) != "#%plain-module-begin":
-                raise SyntaxExpansionError(
-                    "module expansion did not produce #%plain-module-begin", expanded
+            expander = Expander(ctx)
+            scopes = frozenset({ctx.module_scope})
+
+            # The language's exports form the module's base environment (§2.3),
+            # at phase 0 and — like `#lang racket`'s for-syntax self-import — at
+            # phase 1, so transformer bodies can use the language's own forms.
+            for name, export in lang.exports.items():
+                sym = Symbol(name)
+                TABLE.add(sym, scopes, export.binding, phase=0)
+                TABLE.add(sym, scopes, export.binding, phase=1)
+                if export.transformer is not None:
+                    ctx.set_meaning(export.binding, TransformerMeaning(export.transformer))
+            for name, export in registry.kernel_exports.items():
+                if name not in lang.exports:
+                    TABLE.add(Symbol(name), scopes, export.binding, phase=1)
+
+            body = [f.add_scope(ctx.module_scope) for f in forms]
+            srcloc = forms[0].srcloc if forms else None
+            mb_id = Syntax(Symbol("#%module-begin"), scopes, srcloc or Syntax(Symbol("x")).srcloc)
+            whole = Syntax((mb_id, *body), scopes, mb_id.srcloc)
+
+            if "#%module-begin" not in lang.exports:
+                raise ModuleError(
+                    f"language {lang_name} does not provide #%module-begin"
                 )
-        except CompilationFailed:
-            raise
-        except ReproError as err:
-            session.add_exception(err)
-            session.raise_if_errors()
-            raise  # pragma: no cover - raise_if_errors always raises here
-
-        body_forms = []
-        for item in expanded.e[1:]:
-            parsed = parse_module_level_form(item, 0)
-            if parsed is not None:
-                body_forms.append(parsed)
-
-        exports: dict[str, Export] = {}
-        provides = []
-        for spec in ctx.provides:
-            if spec.external == "*all-defined*":
-                from repro.expander.env import ProvideSpec
-
-                provides.extend(
-                    ProvideSpec(name, ident, spec.phase)
-                    for name, ident in ctx.defined_names.items()
-                )
-            else:
-                provides.append(spec)
-        for spec in provides:
             try:
-                binding = TABLE.resolve(spec.internal_id, spec.phase)
-                if binding is None:
+                expanded = expander.expand_expr(whole, 0)
+                if core_form_of(expanded, 0) != "#%plain-module-begin":
                     raise SyntaxExpansionError(
-                        f"provide: unbound identifier: {spec.internal_id.e}",
-                        spec.internal_id,
+                        "module expansion did not produce #%plain-module-begin", expanded
                     )
-            except FATAL_ERRORS:
+            except CompilationFailed:
                 raise
             except ReproError as err:
                 session.add_exception(err)
-                continue
-            meaning = ctx.meaning_of(binding)
-            transformer = None
-            if isinstance(meaning, TransformerMeaning) and callable(meaning.value):
-                # Python-implemented transformers can be embedded directly;
-                # object-language transformers are re-created in each client
-                # compilation by replaying this module's SyntaxDecls.
-                transformer = meaning.value
-            exports[spec.external] = Export(spec.external, binding, transformer)
+                session.raise_if_errors()
+                raise  # pragma: no cover - raise_if_errors always raises here
 
-        session.raise_if_errors()
-        return CompiledModule(
-            path=path,
-            language=lang_name,
-            requires=list(ctx.requires),
-            body=CoreModuleBody(body_forms),
-            exports=exports,
-            syntax_decls=list(ctx.syntax_decls),
-        )
-    finally:
-        pop_context()
+            body_forms = []
+            for item in expanded.e[1:]:
+                parsed = parse_module_level_form(item, 0)
+                if parsed is not None:
+                    body_forms.append(parsed)
+
+            exports: dict[str, Export] = {}
+            provides = []
+            for spec in ctx.provides:
+                if spec.external == "*all-defined*":
+                    from repro.expander.env import ProvideSpec
+
+                    provides.extend(
+                        ProvideSpec(name, ident, spec.phase)
+                        for name, ident in ctx.defined_names.items()
+                    )
+                else:
+                    provides.append(spec)
+            for spec in provides:
+                try:
+                    binding = TABLE.resolve(spec.internal_id, spec.phase)
+                    if binding is None:
+                        raise SyntaxExpansionError(
+                            f"provide: unbound identifier: {spec.internal_id.e}",
+                            spec.internal_id,
+                        )
+                except FATAL_ERRORS:
+                    raise
+                except ReproError as err:
+                    session.add_exception(err)
+                    continue
+                meaning = ctx.meaning_of(binding)
+                transformer = None
+                if isinstance(meaning, TransformerMeaning) and callable(meaning.value):
+                    # Python-implemented transformers can be embedded directly;
+                    # object-language transformers are re-created in each client
+                    # compilation by replaying this module's SyntaxDecls.
+                    transformer = meaning.value
+                exports[spec.external] = Export(spec.external, binding, transformer)
+
+            session.raise_if_errors()
+            return CompiledModule(
+                path=path,
+                language=lang_name,
+                requires=list(ctx.requires),
+                body=CoreModuleBody(body_forms),
+                exports=exports,
+                syntax_decls=list(ctx.syntax_decls),
+                table_fragment=fragment,
+            )
+        finally:
+            pop_context()

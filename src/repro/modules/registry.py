@@ -118,6 +118,7 @@ class CompiledModule:
         body: "CoreModuleBody",
         exports: dict[str, Export],
         syntax_decls: list[SyntaxDecl],
+        table_fragment: Optional[list] = None,
     ) -> None:
         self.path = path
         self.language = language
@@ -125,6 +126,11 @@ class CompiledModule:
         self.body = body
         self.exports = exports
         self.syntax_decls = syntax_decls
+        #: the binding-table entries added while compiling this module — the
+        #: part of the global TABLE the module owns. Persisted into its
+        #: compiled artifact (clients resolve the module's macro templates
+        #: through these) and removed when the module is evicted.
+        self.table_fragment: list = table_fragment if table_fragment is not None else []
 
     def __repr__(self) -> str:
         return f"#<compiled-module {self.path}>"
@@ -148,6 +154,10 @@ class Language:
         self.exports: dict[str, Export] = {}
         self.scope = Scope(f"lang:{name}")
         self._anchor: Any = None
+        #: the TABLE entries this language added (one pair per export), so a
+        #: Runtime teardown can reclaim them — without this every Language
+        #: instance leaked its whole export table into the global TABLE
+        self._table_entries: list = []
         if exports:
             for export_name, export in exports.items():
                 self.export(export_name, export.binding, export.transformer)
@@ -172,6 +182,16 @@ class Language:
         sym = Symbol(name)
         TABLE.add(sym, scopes, binding, phase=0)
         TABLE.add(sym, scopes, binding, phase=1)
+        self._table_entries.append((sym, 0, scopes, binding))
+        self._table_entries.append((sym, 1, scopes, binding))
+
+    def release_bindings(self) -> int:
+        """Remove this language's TABLE entries; returns how many."""
+        from repro.syn.binding import TABLE
+
+        removed = TABLE.remove_entries(self._table_entries)
+        self._table_entries.clear()
+        return removed
 
     def export_macro(self, name: str, transformer: Callable[..., Any]) -> None:
         self.export(name, ModuleBinding(self.path, Symbol(name)), transformer)
@@ -219,12 +239,23 @@ class ModuleRegistry:
         self.py_values: dict[Any, Any] = {}
         #: per-compilation macro-expansion step budget (None = default)
         self.expansion_fuel: Optional[int] = None
+        #: the persistent compiled-artifact cache, or None (disabled)
+        self.cache: Optional[Any] = None
+        #: content hash of each registered module's source text
+        self._source_hashes: dict[str, str] = {}
+        #: full content keys (source + transitive dependency keys), set once
+        #: a module has been compiled or cache-loaded
+        self._full_keys: dict[str, str] = {}
+        #: scopes owned by this registry (language anchors, module scopes) —
+        #: released wholesale on teardown
+        self.owned_scopes: set[Any] = set()
         self.kernel_exports: dict[str, Export] = _kernel_exports()
 
     # -- registration ------------------------------------------------------
 
     def register_language(self, lang: Language) -> Language:
         self.languages[lang.name] = lang
+        self.owned_scopes.add(lang.scope)
         return lang
 
     def register_py_value(self, module_path: str, name: str, value: Any) -> ModuleBinding:
@@ -243,11 +274,28 @@ class ModuleRegistry:
         lang, forms = read_module_source(text, path, session=session)
         session.raise_if_errors()
         self.register_module_forms(path, lang, forms)
+        import hashlib
+
+        self._source_hashes[path] = hashlib.sha256(text.encode("utf-8")).hexdigest()
 
     def register_module_forms(self, path: str, lang: str, forms: list[Any]) -> None:
-        if path in self.compiled:
-            del self.compiled[path]
+        self.evict_module(path)
+        self._source_hashes.pop(path, None)
         self.sources[path] = (lang, forms)
+
+    def evict_module(self, path: str) -> None:
+        """Drop a module's compiled form and reclaim its TABLE entries.
+
+        Re-registering a module evicts its previous compilation; without the
+        reclamation every recompile stacked another copy of the module's
+        bindings onto the global table.
+        """
+        compiled = self.compiled.pop(path, None)
+        self._full_keys.pop(path, None)
+        if compiled is not None:
+            from repro.syn.binding import TABLE
+
+            TABLE.remove_entries(compiled.table_fragment)
 
     def register_file(self, filename: str) -> str:
         import os
@@ -324,24 +372,94 @@ class ModuleRegistry:
         # (dependency) compile that succeeds must keep its bindings even if
         # the outer module later fails — the outer rollback then also evicts
         # the freshly compiled dependencies, whose macro-template bindings
-        # it removes, so a retry recompiles them from scratch.
+        # it removes, so a retry recompiles them from scratch. Cache loads
+        # run inside the same transaction, so a failure after a load also
+        # rolls the loaded fragments back.
         transactional = not self._compiling
         if transactional:
             table_snapshot = TABLE.snapshot()
             compiled_before = set(self.compiled)
         self._compiling.append(path)
         try:
-            compiled = compile_module(self, path, lang_name, forms)
+            compiled = None
+            if self.cache is not None:
+                compiled = self.cache.load(self, path, lang_name)
+            if compiled is None:
+                compiled = compile_module(self, path, lang_name, forms)
+                self._full_keys[path] = self._compute_full_key(
+                    path, lang_name, compiled.requires
+                )
+                if self.cache is not None:
+                    self.cache.store(
+                        self, path, lang_name, compiled, self._full_keys[path]
+                    )
         except BaseException:
             if transactional:
                 TABLE.restore(table_snapshot)
                 for newly in set(self.compiled) - compiled_before:
                     del self.compiled[newly]
+                    self._full_keys.pop(newly, None)
             raise
         finally:
             self._compiling.pop()
         self.compiled[path] = compiled
         return compiled
+
+    # -- content keys (cache invalidation) -----------------------------------
+
+    def source_hash(self, path: str) -> str:
+        """Content hash of a module's registered source.
+
+        Modules registered from text hash the text; modules registered as
+        pre-read forms hash their written datum representation.
+        """
+        cached = self._source_hashes.get(path)
+        if cached is None:
+            import hashlib
+
+            from repro.syn.syntax import syntax_to_datum, write_datum
+
+            lang, forms = self.sources[path]
+            rendered = "\n".join(write_datum(syntax_to_datum(f)) for f in forms)
+            cached = hashlib.sha256(rendered.encode("utf-8")).hexdigest()
+            self._source_hashes[path] = cached
+        return cached
+
+    def full_key_of(self, path: str) -> Optional[str]:
+        """The module's full content key (None until compiled/loaded)."""
+        return self._full_keys.get(path)
+
+    def set_full_key(self, path: str, key: str) -> None:
+        self._full_keys[path] = key
+
+    def _compute_full_key(self, path: str, lang: str, requires: list[str]) -> str:
+        from repro.modules.cache import FORMAT_VERSION, content_hash
+
+        dep_keys = [self._full_keys.get(dep, "?") for dep in requires]
+        return content_hash(
+            str(FORMAT_VERSION), path, lang, self.source_hash(path), *dep_keys
+        )
+
+    # -- teardown -------------------------------------------------------------
+
+    def release_bindings(self) -> int:
+        """Reclaim every global-TABLE entry this registry is responsible
+        for: each compiled module's fragment, each language's exports, and
+        (belt-and-braces) anything else bound in an owned scope. Called when
+        the owning Runtime is closed or garbage-collected; returns the
+        number of entries removed."""
+        from repro.syn.binding import TABLE
+
+        removed = 0
+        for compiled in self.compiled.values():
+            removed += TABLE.remove_entries(compiled.table_fragment)
+        self.compiled.clear()
+        self._full_keys.clear()
+        for lang in self.languages.values():
+            removed += lang.release_bindings()
+        removed += TABLE.release_scopes(self.owned_scopes)
+        self.owned_scopes.clear()
+        return removed
 
     def resolve_module_path(
         self,

@@ -13,14 +13,30 @@ operations. To make the optimizer's effect observable *deterministically*
 - ``contract_checks`` — dynamic contract checks at typed/untyped boundaries;
 - ``expansion_steps`` — macro transformer applications performed by the
   expander (compile-time work, tracked so benchmark runs can watch the
-  expander's cost and regressions in macro-heavy programs).
+  expander's cost and regressions in macro-heavy programs);
+- ``cache_hits`` / ``cache_misses`` / ``cache_stores`` /
+  ``cache_invalidations`` — compiled-artifact cache traffic (see
+  :mod:`repro.modules.cache`).
 
 Benchmarks report these alongside wall-clock time.
+
+Counters are **per-Runtime**: each :class:`~repro.Runtime` owns a
+:class:`Stats` instance (``rt.stats``) that its compile/instantiate
+operations activate, so concurrent or sequential Runtimes never bleed
+counts into each other. The module-level :data:`STATS` name is kept for
+existing callers: it is a transparent alias that reads and writes the
+*current* Stats — the one activated by the Runtime operation in progress,
+falling back to the stats of the most recently created Runtime (so test
+code that runs a module and then inspects ``STATS`` keeps seeing that
+run's counters).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import contextvars
+from contextlib import contextmanager
+from dataclasses import dataclass, fields
+from typing import Iterator, Optional
 
 
 @dataclass
@@ -30,23 +46,91 @@ class Stats:
     unsafe_ops: int = 0
     contract_checks: int = 0
     expansion_steps: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_stores: int = 0
+    cache_invalidations: int = 0
 
     def reset(self) -> None:
-        self.generic_dispatches = 0
-        self.tag_checks = 0
-        self.unsafe_ops = 0
-        self.contract_checks = 0
-        self.expansion_steps = 0
+        for f in fields(Stats):
+            setattr(self, f.name, 0)
 
     def snapshot(self) -> dict[str, int]:
-        return {
-            "generic_dispatches": self.generic_dispatches,
-            "tag_checks": self.tag_checks,
-            "unsafe_ops": self.unsafe_ops,
-            "contract_checks": self.contract_checks,
-            "expansion_steps": self.expansion_steps,
-        }
+        return {f.name: getattr(self, f.name) for f in fields(Stats)}
 
 
-#: Global counter instance shared by the whole runtime.
-STATS = Stats()
+#: the process-default instance, active when no Runtime has ever been built
+_DEFAULT = Stats()
+
+#: stats activated for the duration of a Runtime operation (context-scoped,
+#: so threads/tasks running different Runtimes stay isolated)
+_ACTIVE: contextvars.ContextVar[Optional[Stats]] = contextvars.ContextVar(
+    "repro_active_stats", default=None
+)
+
+#: fallback read by the STATS alias outside any operation: the stats of the
+#: most recently created (or activated) Runtime — a one-element cell so the
+#: alias keeps pointing at "the run you just did" for sequential callers
+_AMBIENT: list[Stats] = [_DEFAULT]
+
+
+def current_stats() -> Stats:
+    """The Stats instance the STATS alias currently resolves to."""
+    active = _ACTIVE.get()
+    return active if active is not None else _AMBIENT[0]
+
+
+def set_ambient_stats(stats: Stats) -> None:
+    """Make ``stats`` the fallback target of the STATS alias (called when a
+    Runtime is created, so module-level reads track the newest Runtime)."""
+    _AMBIENT[0] = stats
+
+
+@contextmanager
+def use_stats(stats: Stats) -> Iterator[Stats]:
+    """Activate ``stats`` for the dynamic extent of a Runtime operation."""
+    _AMBIENT[0] = stats
+    token = _ACTIVE.set(stats)
+    try:
+        yield stats
+    finally:
+        _ACTIVE.reset(token)
+
+
+class _StatsAlias:
+    """Backwards-compatible module-level facade over the current Stats.
+
+    Supports exactly the old surface — attribute reads, ``+=`` updates,
+    ``reset()`` and ``snapshot()`` — but delegates to :func:`current_stats`
+    so every Runtime keeps its own counters.
+    """
+
+    __slots__ = ()
+
+    def reset(self) -> None:
+        current_stats().reset()
+
+    def snapshot(self) -> dict[str, int]:
+        return current_stats().snapshot()
+
+    def __repr__(self) -> str:
+        return f"#<stats-alias {current_stats()!r}>"
+
+
+def _delegate(name: str) -> property:
+    def _get(self: _StatsAlias) -> int:
+        return getattr(current_stats(), name)
+
+    def _set(self: _StatsAlias, value: int) -> None:
+        setattr(current_stats(), name, value)
+
+    return property(_get, _set)
+
+
+for _f in fields(Stats):
+    setattr(_StatsAlias, _f.name, _delegate(_f.name))
+del _f
+
+
+#: Module-level alias shared by the whole runtime; delegates per-Runtime.
+STATS = _StatsAlias()

@@ -38,6 +38,11 @@ class Symbol:
     def __hash__(self) -> int:
         return hash(self.name)
 
+    def __reduce__(self):
+        # unpickle through __new__ so deserialized symbols re-intern —
+        # pattern matching and `free-identifier=?` compare symbols by identity
+        return (Symbol, (self.name,))
+
     # identity equality is inherited and correct because of interning
 
 
@@ -69,6 +74,9 @@ class Keyword:
 
     def __hash__(self) -> int:
         return hash(("kw", self.name))
+
+    def __reduce__(self):
+        return (Keyword, (self.name,))
 
 
 @dataclass(frozen=True, slots=True)

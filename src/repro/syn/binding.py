@@ -48,6 +48,14 @@ class LocalBinding(Binding):
     def key(self) -> Any:
         return ("local", self.uid)
 
+    def __reduce__(self):
+        # A deserialized LocalBinding takes a *fresh* uid: a uid minted in
+        # the storing process could collide with one minted here, and keys
+        # like ("local", uid) index compile-time tables. Pickle's memo still
+        # deserializes each distinct object exactly once, so references
+        # within one artifact keep sharing one binding.
+        return (LocalBinding, (self.name,))
+
     def __repr__(self) -> str:
         return f"#<local:{self.name}.{self.uid}>"
 
@@ -88,14 +96,27 @@ class CoreFormBinding(Binding):
         return f"#<core:{self.name}>"
 
 
+#: One recorded table addition: (symbol, phase, scope set, binding). The
+#: list of entries added while compiling a module is that module's *table
+#: fragment* — persisted into its compiled artifact and replayed on cache
+#: load, and removed again when the module is evicted (leak reclamation).
+TableEntry = tuple[Symbol, int, ScopeSet, Binding]
+
+
 class BindingTable:
     """The global (symbol, phase) -> [(scope set, binding)] table."""
 
     def __init__(self) -> None:
         self._entries: dict[tuple[Symbol, int], list[tuple[ScopeSet, Binding]]] = {}
+        #: active addition recorders, innermost last; only the innermost
+        #: records, so nested module compilations each capture exactly
+        #: their own additions
+        self._recorders: list[list[TableEntry]] = []
 
     def add(self, name: Symbol, scopes: ScopeSet, binding: Binding, phase: int = 0) -> None:
         self._entries.setdefault((name, phase), []).append((scopes, binding))
+        if self._recorders:
+            self._recorders[-1].append((name, phase, scopes, binding))
 
     def bind_identifier(self, ident: Syntax, binding: Binding, phase: int = 0) -> None:
         if not ident.is_identifier():
@@ -153,6 +174,87 @@ class BindingTable:
         if binding is None:
             raise UnboundIdentifierError(f"unbound identifier: {ident.e}", ident)
         return binding
+
+    # -- fragment recording / reclamation ----------------------------------
+
+    def record_additions(self) -> "_Recorder":
+        """Record every :meth:`add` made while the context is active.
+
+        Used by module compilation to capture the module's table fragment:
+        ``with TABLE.record_additions() as fragment: ...``. Nested recorders
+        shadow outer ones, so a dependency compiled mid-way through its
+        requirer records into its own fragment only.
+        """
+        return _Recorder(self)
+
+    def install_entries(self, entries: list[TableEntry]) -> None:
+        """Re-add a previously recorded fragment (bypassing recorders).
+
+        Used when loading a compiled artifact: the loaded module's bindings
+        must not be charged to whichever module's compilation triggered the
+        load.
+        """
+        for name, phase, scopes, binding in entries:
+            self._entries.setdefault((name, phase), []).append((scopes, binding))
+
+    def remove_entries(self, entries: list[TableEntry]) -> int:
+        """Remove previously recorded additions; returns how many were found.
+
+        Entries already gone (e.g. dropped by a transactional rollback) are
+        skipped silently.
+        """
+        removed = 0
+        for name, phase, scopes, binding in entries:
+            bucket = self._entries.get((name, phase))
+            if not bucket:
+                continue
+            try:
+                bucket.remove((scopes, binding))
+                removed += 1
+            except ValueError:
+                continue
+            if not bucket:
+                del self._entries[(name, phase)]
+        return removed
+
+    def release_scopes(self, scopes: "set | frozenset") -> int:
+        """Drop every entry whose scope set intersects ``scopes``.
+
+        The scope-set-based reclamation path: releasing a module's (or a
+        whole Runtime's) scopes unbinds everything that could only ever be
+        referenced through them. Returns the number of entries dropped.
+        """
+        if not scopes:
+            return 0
+        removed = 0
+        for key in list(self._entries):
+            bucket = self._entries[key]
+            kept = [(s, b) for (s, b) in bucket if not (s & scopes)]
+            removed += len(bucket) - len(kept)
+            if kept:
+                self._entries[key] = kept
+            else:
+                del self._entries[key]
+        return removed
+
+    def entry_count(self) -> int:
+        """Total number of live entries (the leak regression metric)."""
+        return sum(len(bucket) for bucket in self._entries.values())
+
+
+class _Recorder:
+    """Context manager yielding the list of additions made while active."""
+
+    def __init__(self, table: BindingTable) -> None:
+        self._table = table
+        self.entries: list[TableEntry] = []
+
+    def __enter__(self) -> list[TableEntry]:
+        self._table._recorders.append(self.entries)
+        return self.entries
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self._table._recorders.pop()
 
 
 #: The single global binding table (scopes are globally unique, so sharing

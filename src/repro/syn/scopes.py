@@ -18,15 +18,22 @@ class Scope:
     ``kind`` is purely informational (useful in error messages and debugging):
     ``module``, ``macro`` (introduction scopes), ``use-site``, ``local``
     (binding forms), ``lang`` (a language library's anchor scope).
+
+    ``token`` is the scope's *persistent identity*: normally ``None``, it is
+    assigned when the scope is first serialized into a compiled artifact
+    (see :mod:`repro.modules.cache`) so that separately loaded artifacts can
+    agree on scope identity across process boundaries. Scopes compare and
+    hash by object identity; tokens only name them in the artifact format.
     """
 
-    __slots__ = ("id", "kind")
+    __slots__ = ("id", "kind", "token", "__weakref__")
     _counter = 0
 
     def __init__(self, kind: str = "local") -> None:
         Scope._counter += 1
         self.id = Scope._counter
         self.kind = kind
+        self.token: "str | None" = None
 
     def __repr__(self) -> str:
         return f"#<scope:{self.kind}:{self.id}>"

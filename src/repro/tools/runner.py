@@ -10,14 +10,18 @@
 from __future__ import annotations
 
 import itertools
+import os
+import weakref
 from typing import Any, Optional
 
 from repro.core.namespace import Namespace
 from repro.diagnostics import CompileResult, Diagnostic
 from repro.errors import CompilationFailed, ReproError
+from repro.modules.cache import ENV_CACHE_DIR, ModuleCache, default_cache_dir
 from repro.modules.instantiate import instantiate_module
 from repro.modules.registry import ModuleRegistry
 from repro.runtime.ports import capture_output
+from repro.runtime.stats import Stats, set_ambient_stats, use_stats
 
 _ANON = itertools.count()
 
@@ -29,13 +33,71 @@ class Runtime:
     compilation (default: ``repro.expander.expander.DEFAULT_FUEL``); runaway
     macros fail with :class:`~repro.errors.ExpansionLimitError` instead of
     exhausting the Python stack.
+
+    ``cache`` / ``cache_dir`` control the persistent compiled-artifact cache
+    (:mod:`repro.modules.cache`). By default the library Runtime compiles
+    from source every time (hermetic for tests); pass ``cache=True`` to use
+    the default directory (``.repro-cache/``, or ``$REPRO_CACHE_DIR``),
+    ``cache_dir="..."`` to use a specific one, or ``cache=False`` to force
+    it off even when the environment variable is set. The ``repro`` CLI
+    enables the cache by default, mirroring Racket's ``compiled/``.
+
+    Each Runtime owns its instrumentation counters (``rt.stats``) and its
+    slice of the global binding table; ``close()`` (or garbage collection,
+    or use as a context manager) reclaims the table entries so repeated
+    fresh Runtimes do not grow process memory.
     """
 
-    def __init__(self, *, expansion_fuel: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        *,
+        expansion_fuel: Optional[int] = None,
+        cache: Optional[bool] = None,
+        cache_dir: Optional[str] = None,
+    ) -> None:
         self.registry = ModuleRegistry()
         if expansion_fuel is not None:
             self.registry.expansion_fuel = expansion_fuel
+        self.stats = Stats()
+        # module-level STATS reads now track this (newest) Runtime
+        set_ambient_stats(self.stats)
+        self.cache: Optional[ModuleCache] = None
+        if cache is not False:
+            resolved = cache_dir or (
+                os.environ.get(ENV_CACHE_DIR) if cache is None else None
+            )
+            if resolved is None and cache is True:
+                resolved = default_cache_dir()
+            if resolved is not None:
+                self.cache = ModuleCache(resolved)
+        self.registry.cache = self.cache
         self._install_languages()
+        # reclaim this Runtime's binding-table entries even if the user
+        # never calls close(); the finalizer must not reference `self`
+        self._finalizer = weakref.finalize(
+            self, Runtime._reclaim, self.registry
+        )
+
+    @staticmethod
+    def _reclaim(registry: ModuleRegistry) -> int:
+        return registry.release_bindings()
+
+    def close(self) -> int:
+        """Release this Runtime's global binding-table entries.
+
+        Returns the number of entries reclaimed. Idempotent; the Runtime
+        must not be used afterwards.
+        """
+        if self._finalizer.alive:
+            self._finalizer.detach()
+            return Runtime._reclaim(self.registry)
+        return 0
+
+    def __enter__(self) -> "Runtime":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
 
     def _install_languages(self) -> None:
         from repro.langs.count import make_count_language
@@ -73,25 +135,27 @@ class Runtime:
         (``result.ok`` distinguishes success), and whose ``module`` is the
         CompiledModule on success.
         """
-        if not diagnostics:
-            return self.registry.get_compiled(path)
-        try:
-            module = self.registry.get_compiled(path)
-        except CompilationFailed as err:
-            return CompileResult(None, list(err.diagnostics))
-        except ReproError as err:
-            return CompileResult(None, [Diagnostic.from_error(err)])
-        return CompileResult(module, [])
+        with use_stats(self.stats):
+            if not diagnostics:
+                return self.registry.get_compiled(path)
+            try:
+                module = self.registry.get_compiled(path)
+            except CompilationFailed as err:
+                return CompileResult(None, list(err.diagnostics))
+            except ReproError as err:
+                return CompileResult(None, [Diagnostic.from_error(err)])
+            return CompileResult(module, [])
 
     def make_namespace(self) -> Namespace:
         return self.registry.make_runtime_namespace()
 
     def instantiate(self, path: str, ns: Optional[Namespace] = None) -> Namespace:
         """Compile and run a module; returns the namespace it ran in."""
-        if ns is None:
-            ns = self.make_namespace()
-        instantiate_module(self.registry, path, ns)
-        return ns
+        with use_stats(self.stats):
+            if ns is None:
+                ns = self.make_namespace()
+            instantiate_module(self.registry, path, ns)
+            return ns
 
     def run(self, path: str, ns: Optional[Namespace] = None) -> str:
         """Compile and run a module, capturing and returning its output."""
@@ -109,18 +173,83 @@ class Runtime:
     def run_file(self, filename: str) -> str:
         return self.run(self.register_file(filename))
 
+    # -- cache helpers --------------------------------------------------------
+
+    def cache_stats(self) -> dict[str, int]:
+        """Hit/miss/store/invalidation counters for this Runtime's cache."""
+        snap = self.stats.snapshot()
+        return {k: v for k, v in snap.items() if k.startswith("cache_")}
+
+
+_USAGE = """\
+usage: python -m repro [options] <file.rkt>
+       python -m repro cache stats
+       python -m repro cache clear
+
+options:
+  --cache            use the compiled-artifact cache (default)
+  --no-cache         compile from source, ignore the cache
+  --cache-dir DIR    cache directory (default .repro-cache/ or $REPRO_CACHE_DIR)
+"""
+
+
+def _cache_command(args: list[str], cache_dir: Optional[str]) -> int:
+    import sys
+
+    cache = ModuleCache(cache_dir)
+    sub = args[0] if args else "stats"
+    if sub == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} artifact(s) from {cache.dir}")
+        return 0
+    if sub == "stats":
+        entries = cache.entries()
+        total = sum(size for _name, size in entries)
+        print(f"cache directory: {cache.dir}")
+        print(f"artifacts: {len(entries)} ({total} bytes)")
+        for name, size in entries:
+            print(f"  {name}  {size} bytes")
+        return 0
+    print(f"error: unknown cache command: {sub}", file=sys.stderr)
+    return 2
+
 
 def main(argv: Optional[list[str]] = None) -> int:
     """CLI: ``python -m repro program.rkt`` runs a ``#lang`` module file."""
     import sys
 
-    args = argv if argv is not None else sys.argv[1:]
-    if not args:
-        print("usage: python -m repro <file.rkt>", file=sys.stderr)
+    args = list(argv if argv is not None else sys.argv[1:])
+    use_cache: Optional[bool] = True  # the CLI mirrors Racket's compiled/
+    cache_dir: Optional[str] = None
+    rest: list[str] = []
+    i = 0
+    while i < len(args):
+        arg = args[i]
+        if arg == "--cache":
+            use_cache = True
+        elif arg == "--no-cache":
+            use_cache = False
+        elif arg == "--cache-dir":
+            if i + 1 >= len(args):
+                print("error: --cache-dir requires a directory", file=sys.stderr)
+                return 2
+            i += 1
+            cache_dir = args[i]
+        elif arg.startswith("--cache-dir="):
+            cache_dir = arg[len("--cache-dir="):]
+        else:
+            rest.append(arg)
+        i += 1
+
+    if rest and rest[0] == "cache":
+        return _cache_command(rest[1:], cache_dir)
+
+    if not rest:
+        print(_USAGE, file=sys.stderr)
         return 2
-    rt = Runtime()
+    rt = Runtime(cache=use_cache, cache_dir=cache_dir)
     try:
-        path = rt.register_file(args[0])
+        path = rt.register_file(rest[0])
         rt.instantiate(path)
     except ReproError as err:
         # a platform error (parse, expansion, type, module, runtime): render
@@ -128,6 +257,18 @@ def main(argv: Optional[list[str]] = None) -> int:
         print(err, file=sys.stderr)
         return 1
     except OSError as err:
-        print(f"error: cannot read {args[0]}: {err.strerror or err}", file=sys.stderr)
+        print(f"error: cannot read {rest[0]}: {err.strerror or err}", file=sys.stderr)
         return 1
+    finally:
+        if rt.cache is not None:
+            for diag in rt.cache.diagnostics:
+                print(diag, file=sys.stderr)
+        rt.close()
+    snap = rt.stats
+    if rt.cache is not None and (snap.cache_hits or snap.cache_misses):
+        print(
+            f"[cache] hits={snap.cache_hits} misses={snap.cache_misses} "
+            f"stores={snap.cache_stores} invalidations={snap.cache_invalidations}",
+            file=sys.stderr,
+        )
     return 0

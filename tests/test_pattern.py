@@ -166,3 +166,60 @@ class TestSyntaxParse:
     def test_no_match_raises(self):
         with pytest.raises(SyntaxExpansionError):
             syntax_parse(stx("(f 1 2)"), [(compile_pattern("(_ x)"), lambda m: m)])
+
+
+class TestCacheBounds:
+    """The pattern/template caches must stay bounded (they were unbounded
+    dicts before) and the template cache's source-text key must not leak
+    scopes between modules."""
+
+    def test_pattern_cache_is_bounded(self):
+        from repro.expander.pattern import _PATTERN_CACHE
+
+        for i in range(_PATTERN_CACHE.maxsize + 50):
+            compile_pattern(f"(_ a{i} b{i})")
+        assert len(_PATTERN_CACHE) <= _PATTERN_CACHE.maxsize
+
+    def test_template_cache_is_bounded(self):
+        from repro.expander.pattern import _TEMPLATE_CACHE
+
+        for i in range(_TEMPLATE_CACHE.maxsize + 50):
+            compile_template(f"(x{i} y{i})")
+        assert len(_TEMPLATE_CACHE) <= _TEMPLATE_CACHE.maxsize
+
+    def test_lru_evicts_least_recently_used(self):
+        from repro.expander.pattern import _LRUCache
+
+        cache = _LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # touch "a": now "b" is the oldest
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert cache.get("a") == 1 and cache.get("c") == 3
+
+    def test_same_pattern_different_literals_cached_separately(self):
+        p_lit = compile_pattern("(_ else x)", literals=["else"])
+        p_var = compile_pattern("(_ else x)")
+        assert p_lit.match(stx("(f other 1)")) is None  # literal must match
+        assert p_var.match(stx("(f other 1)")) is not None  # plain variable
+
+    def test_cached_template_does_not_leak_context_between_fills(self):
+        """Two modules filling the same (source-identical, hence cached)
+        template with different lexical contexts must each get their own
+        scopes on introduced identifiers — the audit for keying the cache
+        by source text alone."""
+        from repro.syn.scopes import Scope
+        from repro.syn.syntax import Syntax
+
+        tpl_a = compile_template("(introduced x)")
+        tpl_b = compile_template("(introduced x)")
+        assert tpl_a is tpl_b  # same cache entry
+
+        scope_a, scope_b = Scope("module"), Scope("module")
+        ctx_a = Syntax(Symbol("ctx"), frozenset({scope_a}))
+        ctx_b = Syntax(Symbol("ctx"), frozenset({scope_b}))
+        out_a = tpl_a.fill(ctx_a, x=stx("1"))
+        out_b = tpl_b.fill(ctx_b, x=stx("2"))
+        assert scope_a in out_a.e[0].scopes and scope_b not in out_a.e[0].scopes
+        assert scope_b in out_b.e[0].scopes and scope_a not in out_b.e[0].scopes
