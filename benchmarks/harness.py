@@ -55,16 +55,38 @@ class BenchResult:
     tag_checks: int
     unsafe_ops: int
     contract_checks: int
+    expansion_steps: int = 0
+    #: exclusive per-phase seconds of the timed run (trace=True harness only)
+    phases: dict = field(default_factory=dict)
+    #: exclusive per-phase seconds of the untimed compile in prepare()
+    compile_phases: dict = field(default_factory=dict)
+
+
+def _phase_slice(tracer, mark: int) -> dict:
+    """Exclusive per-phase totals over the events appended since ``mark``."""
+    from types import SimpleNamespace
+
+    from repro.observe.profiler import phase_totals
+
+    return phase_totals(SimpleNamespace(events=tracer.events[mark:]))
 
 
 class Harness:
-    """Compiles and runs benchmark programs under named configurations."""
+    """Compiles and runs benchmark programs under named configurations.
 
-    def __init__(self) -> None:
+    ``trace=True`` attaches a :class:`repro.observe.Tracer` to each fresh
+    Runtime and fills ``BenchResult.phases`` / ``compile_phases`` with
+    exclusive per-phase timings (used by ``run_figures.py --json``). The
+    default is off so timed runs carry no tracing overhead — and stays off
+    even under a process-global tracer, keeping benchmarks hermetic.
+    """
+
+    def __init__(self, trace: bool = False) -> None:
         self._counter = 0
+        self.trace = trace
 
     def _fresh_runtime(self) -> Runtime:
-        return Runtime()
+        return Runtime(trace=True if self.trace else False)
 
     def prepare(
         self, program: BenchmarkProgram, config: str, rules: Optional[set[str]] = None
@@ -91,6 +113,10 @@ class Harness:
         finally:
             OPTIMIZER_CONFIG.update(saved_opt)
             OPTIMIZER_CONFIG["rules"] = saved_rules
+        compile_phases = (
+            _phase_slice(rt.tracer, 0) if rt.tracer is not None else {}
+        )
+        compile_steps = rt.stats.expansion_steps
 
         inline = config != "baseline"
 
@@ -102,6 +128,7 @@ class Harness:
                 # per-Runtime counters: immune to other Runtimes created
                 # between prepare() and the timed run
                 rt.stats.reset()
+                mark = len(rt.tracer.events) if rt.tracer is not None else 0
                 with capture_output() as port:
                     start = time.perf_counter()
                     rt.instantiate(path, ns)
@@ -124,6 +151,12 @@ class Harness:
                 tag_checks=snapshot["tag_checks"],
                 unsafe_ops=snapshot["unsafe_ops"],
                 contract_checks=snapshot["contract_checks"],
+                expansion_steps=compile_steps,
+                phases=(
+                    _phase_slice(rt.tracer, mark)
+                    if rt.tracer is not None else {}
+                ),
+                compile_phases=compile_phases,
             )
 
         return run_once

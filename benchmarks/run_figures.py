@@ -9,11 +9,17 @@ Usage::
 Prints, per figure, runtime normalized to the untyped configuration
 (smaller is better — the paper's bar-chart convention), the typed/opt
 speedup percentage, and the deterministic dispatch-counter view.
+
+``--json FILE`` (default ``BENCH_figures.json``) additionally writes the
+raw measurements — absolute seconds per configuration, the counters, and
+the phase profiler's exclusive per-phase timings for both the compile and
+the timed run — for machine consumption (CI uploads this as an artifact).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Iterable
 
@@ -59,6 +65,23 @@ def run_figure(
     return results
 
 
+def _result_record(result: BenchResult) -> dict:
+    return {
+        "seconds": result.seconds,
+        "expansion_steps": result.expansion_steps,
+        "phases": {k: round(v, 6) for k, v in result.phases.items()},
+        "compile_phases": {
+            k: round(v, 6) for k, v in result.compile_phases.items()
+        },
+        "counters": {
+            "generic_dispatches": result.generic_dispatches,
+            "tag_checks": result.tag_checks,
+            "unsafe_ops": result.unsafe_ops,
+            "contract_checks": result.contract_checks,
+        },
+    }
+
+
 def main(argv: Iterable[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -68,10 +91,26 @@ def main(argv: Iterable[str] | None = None) -> int:
     parser.add_argument(
         "--counters", action="store_true", help="also print the dispatch-counter tables"
     )
+    parser.add_argument(
+        "--json",
+        nargs="?",
+        const="BENCH_figures.json",
+        default=None,
+        metavar="FILE",
+        help="write raw measurements (absolute seconds, counters, per-phase "
+        "timings) as JSON (default file: BENCH_figures.json)",
+    )
     args = parser.parse_args(list(argv) if argv is not None else None)
     figures = args.figures or list(FIGURE_TITLES)
 
-    harness = Harness()
+    # the phase profiler rides along only when its output is wanted: traced
+    # runs pay a (small) span overhead per module form
+    harness = Harness(trace=args.json is not None)
+    payload: dict = {
+        "schema": "repro-bench/1",
+        "repeats": args.repeats,
+        "figures": {},
+    }
     for figure in figures:
         if figure not in FIGURE_TITLES:
             parser.error(f"unknown figure: {figure}")
@@ -82,6 +121,18 @@ def main(argv: Iterable[str] | None = None) -> int:
         if args.counters:
             print()
             print(counter_table(results))
+        payload["figures"][figure] = {
+            name: {
+                config: _result_record(result)
+                for config, result in by_config.items()
+            }
+            for name, by_config in results.items()
+        }
+    if args.json is not None:
+        with open(args.json, "w", encoding="utf-8") as f:
+            json.dump(payload, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"\nwrote {args.json}", file=sys.stderr)
     return 0
 
 

@@ -24,6 +24,16 @@ KERNEL = """
 UNTYPED = "#lang racket" + KERNEL.format(
     define="define", x="x", n="n", acc="acc", ret="", retf=""
 )
+
+# A deliberate near-miss for the optimization coach: `b : Number` keeps the
+# checker from proving (* a b) all-Float, so no unsafe-fl* fires — exactly
+# what `repro trace` reports, with the annotation that would unlock it.
+NEAR_MISS = """
+(define (blend [a : Float] [b : Number]) : Number
+  (* a b))
+(displayln (blend 0.5 2))
+"""
+
 TYPED = "#lang typed" + KERNEL.format(
     define="define",
     x="[x : Float]",
@@ -31,7 +41,7 @@ TYPED = "#lang typed" + KERNEL.format(
     acc="[acc : Float]",
     ret=" : Float",
     retf=" : Float",
-)
+) + NEAR_MISS
 
 
 def run(rt: Runtime, name: str, source: str) -> None:
@@ -66,5 +76,12 @@ print(
     """
 The typed+optimized version rewrote every (+ x y), (* x y), (/ x y), (= n 0)
 on proven Float/Integer operands into unsafe-fl* / unsafe-fx* primitives —
-no numeric-tower dispatch remains (fig. 5 / §7.2)."""
+no numeric-tower dispatch remains (fig. 5 / §7.2). One rewrite deliberately
+does NOT fire: in `blend`, (* a b) has b typed Number, so the float rule
+can't prove it sound. Run
+
+    python -m repro trace examples/optimizer_tour.py --format summary
+
+to see the optimization coach report it as a near-miss, keyed by source
+location, alongside every rewrite that fired."""
 )

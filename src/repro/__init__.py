@@ -42,6 +42,7 @@ from repro.errors import (
     UnboundIdentifierError,
     WrongTypeError,
 )
+from repro.observe import Recorder, Tracer
 from repro.runtime.stats import STATS, Stats
 from repro.tools.runner import Runtime
 
@@ -51,6 +52,8 @@ __all__ = [
     "Runtime",
     "STATS",
     "Stats",
+    "Recorder",
+    "Tracer",
     "CompileResult",
     "Diagnostic",
     "DiagnosticSession",

@@ -40,6 +40,8 @@ from repro.expander.env import (
     VARIABLE,
 )
 from repro.expander.kernel_scope import SYNTAX_RULES_BINDING, core_id
+from repro.observe.recorder import current_recorder
+from repro.runtime.stats import current_stats
 from repro.runtime.values import Symbol
 from repro.syn.binding import (
     Binding,
@@ -92,6 +94,9 @@ class Expander:
         self._macro_frames: list[ExpansionFrame] = []
         self.fuel_budget = getattr(ctx.registry, "expansion_fuel", None) or DEFAULT_FUEL
         self.fuel = self.fuel_budget
+        #: the observability event bus active for this compilation (the
+        #: no-op recorder when tracing is off — call sites check .enabled)
+        self._rec = current_recorder()
 
     # ------------------------------------------------------------------
     # transformer application
@@ -121,10 +126,8 @@ class Expander:
             )
         return tuple(frames)
 
-    def _use_fuel(self, stx: Syntax) -> None:
-        from repro.runtime.stats import STATS
-
-        STATS.expansion_steps += 1
+    def _use_fuel(self, stx: Syntax, macro_name: str) -> None:
+        current_stats().count_expansion_step(macro_name)
         self.fuel -= 1
         if self.fuel < 0:
             err = ExpansionLimitError(
@@ -144,14 +147,14 @@ class Expander:
             use_site = Scope("use-site")
             self.ctx.use_site_scopes[-1].add(use_site)
             inp = inp.add_scope(use_site)
+        macro_name = self._macro_name_of(stx)
         self._intro_stack.append(intro)
-        self._macro_frames.append(
-            ExpansionFrame(self._macro_name_of(stx), stx.srcloc)
-        )
+        self._macro_frames.append(ExpansionFrame(macro_name, stx.srcloc))
+        depth = len(self._macro_frames)
         try:
             # burn fuel with the frame already pushed, so an exhausted
             # budget names the macro that tripped it in its backtrace
-            self._use_fuel(stx)
+            self._use_fuel(stx, macro_name)
             out = self.call_transformer(transformer, inp)
         except RecursionError:
             err = ExpansionLimitError(
@@ -173,7 +176,17 @@ class Expander:
             raise SyntaxExpansionError(
                 f"macro transformer returned a non-syntax value: {out!r}", stx
             )
-        return out.flip_scope(intro)
+        result = out.flip_scope(intro)
+        if self._rec.enabled:
+            self._rec.macro_step(
+                macro_name,
+                stx.srcloc,
+                depth,
+                stx_in=stx,
+                stx_out=result,
+                intro_scope=repr(intro),
+            )
+        return result
 
     def call_transformer(self, transformer: Any, stx: Syntax) -> Any:
         _EXPANDER_STACK.append(self)

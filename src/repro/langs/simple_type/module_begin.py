@@ -66,14 +66,19 @@ def install_module_begin(
         # failing form in the compilation's diagnostic session; stop here
         # (before the optimizer, which assumes well-typed input) if any form
         # failed, reporting all of them at once.
+        from repro.observe.recorder import current_recorder
+
+        rec = current_recorder()
         checker = checker_factory(ctx)
-        checker.check_module(list(core.e[1:]))
+        with rec.span("typecheck", ctx.module_path):
+            checker.check_module(list(core.e[1:]))
         ctx.diagnostics.raise_if_errors()
 
         # fig. 5: the type-driven optimizer
         if config is None or config.get("optimize", True):
             optimizer = optimizer_factory(ctx)
-            body = [optimizer.optimize_module_form(form) for form in core.e[1:]]
+            with rec.span("optimize", ctx.module_path):
+                body = [optimizer.optimize_module_form(form) for form in core.e[1:]]
         else:
             body = list(core.e[1:])
 

@@ -17,6 +17,7 @@ from repro.expander.kernel_scope import core_id
 from repro.langs.typed_common import env as tenv
 from repro.langs.typed_common import types as ty
 from repro.modules.registry import KERNEL_PATH
+from repro.observe.recorder import current_recorder
 from repro.syn.binding import ModuleBinding, TABLE
 from repro.syn.syntax import Syntax
 
@@ -43,9 +44,33 @@ class SimpleOptimizer:
         self.ctx = ctx
         self.expr_types = tenv.expr_types(ctx)
         self.rewrites = 0
+        #: the optimization-coach event bus (no-op recorder when tracing is
+        #: off; every coach call site is guarded on ._rec.enabled)
+        self._rec = current_recorder()
 
     def type_of(self, stx: Syntax) -> Optional[ty.Type]:
         return self.expr_types.get(id(stx))
+
+    # -- optimization coach -------------------------------------------------
+
+    def _loc(self, t: Syntax, op: Syntax):
+        loc = t.srcloc if t.srcloc is not None else op.srcloc
+        if loc is not None and loc.source == "<generated>":
+            loc = op.srcloc
+        return loc
+
+    def _operand_types(self, args) -> list[str]:
+        return [str(self.type_of(a)) for a in args]
+
+    def _coach_fired(self, rule: str, t: Syntax, op_name: str,
+                     replacement: str, args) -> None:
+        self._rec.opt_fired(rule, op_name, replacement, self._loc(t, t.e[1]),
+                            operand_types=self._operand_types(args))
+
+    def _coach_near_miss(self, rule: str, t: Syntax, op_name: str,
+                         reason: str, args) -> None:
+        self._rec.opt_near_miss(rule, op_name, reason, self._loc(t, t.e[1]),
+                                operand_types=self._operand_types(args))
 
     def _kernel_op_name(self, op: Syntax) -> Optional[str]:
         if not op.is_identifier():
@@ -105,14 +130,30 @@ class SimpleOptimizer:
         new_args = tuple(self.optimize(a) for a in args)
         new_op = op
         op_name = self._kernel_op_name(op)
+        # unary cases only exist for abs/sqrt; binary for the rest
         if (
             op_name in FLOAT_SPECIALIZATIONS
             and 1 <= len(args) <= 2
-            and all(self.type_of(a) == ty.FLOAT for a in args)
+            and (len(args) == 1) == (op_name in ("abs", "sqrt"))
         ):
             replacement = FLOAT_SPECIALIZATIONS[op_name]
-            # unary cases only exist for abs/sqrt; binary for the rest
-            if (len(args) == 1) == (op_name in ("abs", "sqrt")):
+            if all(self.type_of(a) == ty.FLOAT for a in args):
                 new_op = core_id(replacement, op.srcloc)
                 self.rewrites += 1
+                if self._rec.enabled:
+                    self._coach_fired("float", t, op_name, replacement, args)
+            elif self._rec.enabled:
+                # the shape matched but the types did not prove the rewrite:
+                # a coach near-miss, with the operand that blocked it
+                blocker = next(
+                    (a for a in args if self.type_of(a) != ty.FLOAT), args[0]
+                )
+                blocker_type = self.type_of(blocker)
+                if any(self.type_of(a) is not None for a in args):
+                    self._coach_near_miss(
+                        "float", t, op_name,
+                        f"operand typed `{blocker_type}`, not `Float` — "
+                        f"no `{replacement}`",
+                        args,
+                    )
         return self._rebuild(t, (t.e[0], new_op, *new_args))

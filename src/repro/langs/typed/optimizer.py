@@ -69,6 +69,21 @@ _VECTOR_OPS = {
 }
 
 
+def _rule_of(replacement: str) -> str:
+    """Rule-group name of a specialized primitive, for coach attribution."""
+    if replacement.startswith("unsafe-fl"):
+        return "float"
+    if replacement.startswith("unsafe-fx"):
+        return "fixnum"
+    if replacement.startswith("unsafe-fc"):
+        return "complex"
+    if replacement in ("unsafe-car", "unsafe-cdr"):
+        return "pairs"
+    if replacement.startswith("unsafe-vector"):
+        return "vectors"
+    return "unknown"
+
+
 class FullOptimizer(SimpleOptimizer):
     def __init__(self, ctx: ExpandContext, rules: frozenset[str] = ALL_RULES) -> None:
         super().__init__(ctx)
@@ -81,11 +96,14 @@ class FullOptimizer(SimpleOptimizer):
         op = t.e[1]
         args = t.e[2:]
         new_args = tuple(self.optimize(a) for a in args)
+        op_name = self._kernel_op_name(op)
         incr = self._specialize_incr(op, args)
         if incr is not None:
             # (add1 e) / (sub1 e) -> (unsafe-?x+/- e 1) — arity changes
             new_op, literal = incr
             self.rewrites += 1
+            if self._rec.enabled:
+                self._coach_fired(_rule_of(new_op), t, op_name, new_op, args)
             one = Syntax((core_id("quote", op.srcloc), Syntax(literal)), t.scopes, t.srcloc)
             return self._rebuild(
                 t, (t.e[0], core_id(new_op, op.srcloc), new_args[0], one)
@@ -93,8 +111,15 @@ class FullOptimizer(SimpleOptimizer):
         replacement = self._specialize(op, args)
         if replacement is not None:
             self.rewrites += 1
+            if self._rec.enabled:
+                self._coach_fired(_rule_of(replacement), t, op_name, replacement, args)
             new_op_stx: Syntax = core_id(replacement, op.srcloc)
         else:
+            if self._rec.enabled and op_name is not None:
+                miss = self._explain_near_miss(op_name, args)
+                if miss is not None:
+                    rule, reason = miss
+                    self._coach_near_miss(rule, t, op_name, reason, args)
             new_op_stx = self.optimize(op)
         return self._rebuild(t, (t.e[0], new_op_stx, *new_args))
 
@@ -111,6 +136,100 @@ class FullOptimizer(SimpleOptimizer):
         if "float" in self.rules and arg_type == ty.FLOAT:
             return (f"unsafe-fl{suffix}", 1.0)
         return None
+
+    # -- optimization coach: near-miss analysis -----------------------------
+
+    def _explain_near_miss(
+        self, op_name: str, args: Sequence[Syntax]
+    ) -> Optional[tuple[str, str]]:
+        """Why didn't ``op_name`` specialize? Returns ``(rule, reason)``.
+
+        Scans every rule table whose shape (operator name + arity) matches
+        the application, then reports the candidate whose expected operand
+        type matches the *most* operands — the specialization the programmer
+        was closest to getting (St-Amour et al.'s coaching recipe). Requires
+        at least one operand with a known type, so untyped positions don't
+        drown the report in noise.
+        """
+        types = [self.type_of(a) for a in args]
+        if not any(s is not None for s in types):
+            return None
+        n = len(args)
+
+        #: (rule, table, expected type, arity) — the uniform-expected-type
+        #: rule groups; pairs/vectors need a type-family check instead
+        candidates = []
+        if n == 2:
+            candidates += [
+                ("float", _FLOAT_OPS, ty.FLOAT),
+                ("fixnum", _FIXNUM_OPS, ty.INTEGER),
+                ("complex", _COMPLEX_OPS, ty.FLOAT_COMPLEX),
+            ]
+        elif n == 1:
+            candidates += [
+                ("float", _FLOAT_UNARY, ty.FLOAT),
+                ("complex", _COMPLEX_UNARY, ty.FLOAT_COMPLEX),
+            ]
+            if op_name in ("add1", "sub1"):
+                suffix = "+" if op_name == "add1" else "-"
+                candidates += [
+                    ("fixnum", {op_name: f"unsafe-fx{suffix}"}, ty.INTEGER),
+                    ("float", {op_name: f"unsafe-fl{suffix}"}, ty.FLOAT),
+                ]
+
+        best: Optional[tuple[int, str, str]] = None  # (score, rule, reason)
+        for rule, table, expected in candidates:
+            if op_name not in table:
+                continue
+            replacement = table[op_name]
+            if rule not in self.rules:
+                reason = f"rule group `{rule}` disabled (would be `{replacement}`)"
+                score = sum(1 for s in types if s == expected)
+            else:
+                blockers = [s for s in types if s != expected]
+                if not blockers:
+                    continue  # would have fired; not a near-miss
+                blocker = next((s for s in blockers if s is not None), None)
+                if blocker is None:
+                    reason = (
+                        f"operand has no known type — no `{replacement}`"
+                    )
+                else:
+                    reason = (
+                        f"operand typed `{blocker}`, not `{expected}` — "
+                        f"no `{replacement}`"
+                    )
+                score = sum(1 for s in types if s == expected)
+            if best is None or score > best[0]:
+                best = (score, rule, reason)
+
+        # the type-family rules: pairs (any Pairof) and vectors (any Vectorof)
+        if n == 1 and op_name in _PAIR_OPS:
+            replacement = _PAIR_OPS[op_name]
+            if "pairs" not in self.rules:
+                reason = f"rule group `pairs` disabled (would be `{replacement}`)"
+            else:
+                reason = (
+                    f"operand typed `{types[0]}`, not a `Pairof` — "
+                    f"no `{replacement}`"
+                )
+            if best is None or best[0] == 0:
+                best = (0, "pairs", reason)
+        if args and op_name in _VECTOR_OPS and types[0] is not None:
+            replacement = _VECTOR_OPS[op_name]
+            if "vectors" not in self.rules:
+                reason = f"rule group `vectors` disabled (would be `{replacement}`)"
+            else:
+                reason = (
+                    f"operand typed `{types[0]}`, not a `Vectorof` — "
+                    f"no `{replacement}`"
+                )
+            if best is None or best[0] == 0:
+                best = (0, "vectors", reason)
+
+        if best is None:
+            return None
+        return (best[1], best[2])
 
     def _specialize(self, op: Syntax, args: Sequence[Syntax]) -> Optional[str]:
         name = self._kernel_op_name(op)

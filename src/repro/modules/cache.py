@@ -49,6 +49,7 @@ import weakref
 from typing import TYPE_CHECKING, Any, Optional
 
 from repro.diagnostics.diagnostic import Diagnostic
+from repro.observe.recorder import current_recorder
 from repro.runtime.stats import STATS
 from repro.runtime.values import Keyword, Symbol
 from repro.syn.binding import TABLE
@@ -170,6 +171,13 @@ class ModuleCache:
             Diagnostic(severity="warning", code=code, message=message)
         )
 
+    @staticmethod
+    def _instant(name: str, path: str) -> None:
+        """Mirror a cache counter onto the observability bus (if tracing)."""
+        rec = current_recorder()
+        if rec.enabled:
+            rec.instant("cache", name, attrs={"path": path})
+
     # -- load ---------------------------------------------------------------
 
     def load(
@@ -186,6 +194,7 @@ class ModuleCache:
         file = self.artifact_path(path, lang, source_hash)
         if not os.path.exists(file):
             STATS.cache_misses += 1
+            self._instant("miss", path)
             return None
         try:
             with open(file, "rb") as f:
@@ -204,6 +213,7 @@ class ModuleCache:
                 f"({type(err).__name__}: {err}); recompiling from source",
             )
             STATS.cache_misses += 1
+            self._instant("miss", path)
             try:
                 os.unlink(file)
             except OSError:
@@ -222,6 +232,7 @@ class ModuleCache:
                 )
                 STATS.cache_invalidations += 1
                 STATS.cache_misses += 1
+                self._instant("invalidation", path)
                 return None
             if registry.full_key_of(dep_path) != dep_key:
                 self._warn(
@@ -231,12 +242,14 @@ class ModuleCache:
                 )
                 STATS.cache_invalidations += 1
                 STATS.cache_misses += 1
+                self._instant("invalidation", path)
                 return None
 
         module: "CompiledModule" = artifact["module"]
         TABLE.install_entries(module.table_fragment)
         registry.set_full_key(path, artifact["key"])
         STATS.cache_hits += 1
+        self._instant("hit", path)
         return module
 
     # -- store --------------------------------------------------------------
@@ -293,6 +306,7 @@ class ModuleCache:
                 pass
             return False
         STATS.cache_stores += 1
+        self._instant("store", path)
         return True
 
     # -- maintenance --------------------------------------------------------

@@ -38,9 +38,12 @@ def compile_module(
     ``TypeCheckError`` etc.), while several problems raise one
     :class:`CompilationFailed` carrying every diagnostic.
     """
+    from repro.observe.recorder import current_recorder
+
     lang = registry.language(lang_name)
     ctx = ExpandContext(path, registry)
     session = ctx.diagnostics
+    rec = current_recorder()
     push_context(ctx)
     # Record every binding-table entry this compilation adds (language
     # imports into the module scope, definitions, macro expansions) as the
@@ -48,7 +51,7 @@ def compile_module(
     # cache load can reinstall exactly these entries, and module eviction
     # can remove exactly them. The recorder stack is innermost-only, so a
     # nested dependency compile records into its own fragment, not ours.
-    with TABLE.record_additions() as fragment:
+    with rec.span("compile", path), TABLE.record_additions() as fragment:
         try:
             expander = Expander(ctx)
             scopes = frozenset({ctx.module_scope})
@@ -76,7 +79,8 @@ def compile_module(
                     f"language {lang_name} does not provide #%module-begin"
                 )
             try:
-                expanded = expander.expand_expr(whole, 0)
+                with rec.span("expand", path):
+                    expanded = expander.expand_expr(whole, 0)
                 if core_form_of(expanded, 0) != "#%plain-module-begin":
                     raise SyntaxExpansionError(
                         "module expansion did not produce #%plain-module-begin", expanded
@@ -89,10 +93,11 @@ def compile_module(
                 raise  # pragma: no cover - raise_if_errors always raises here
 
             body_forms = []
-            for item in expanded.e[1:]:
-                parsed = parse_module_level_form(item, 0)
-                if parsed is not None:
-                    body_forms.append(parsed)
+            with rec.span("parse", path):
+                for item in expanded.e[1:]:
+                    parsed = parse_module_level_form(item, 0)
+                    if parsed is not None:
+                        body_forms.append(parsed)
 
             exports: dict[str, Export] = {}
             provides = []

@@ -5,6 +5,7 @@ from __future__ import annotations
 from repro.core.compile import Compiler
 from repro.core.namespace import Namespace
 from repro.modules.registry import ModuleRegistry
+from repro.observe.recorder import current_recorder
 
 
 def instantiate_module(registry: ModuleRegistry, path: str, ns: Namespace) -> None:
@@ -16,5 +17,16 @@ def instantiate_module(registry: ModuleRegistry, path: str, ns: Namespace) -> No
     for req in compiled.requires:
         instantiate_module(registry, req, ns)
     compiler = Compiler(ns)
-    for form in compiled.body.forms:
-        compiler.compile_module_form(form)()
+    rec = current_recorder()
+    if not rec.enabled:
+        for form in compiled.body.forms:
+            compiler.compile_module_form(form)()
+        return
+    # traced: keep the compile-then-run interleaving, but charge the
+    # closure-compilation and execution of each form to separate spans
+    with rec.span("instantiate", path):
+        for form in compiled.body.forms:
+            with rec.span("closure-compile", path):
+                thunk = compiler.compile_module_form(form)
+            with rec.span("run", path):
+                thunk()

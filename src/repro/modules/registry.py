@@ -270,8 +270,11 @@ class ModuleRegistry:
         # The reader recovers after errors and collects every problem; a
         # single problem re-raises the original ReaderError, several raise
         # one CompilationFailed.
+        from repro.observe.recorder import current_recorder
+
         session = DiagnosticSession(path)
-        lang, forms = read_module_source(text, path, session=session)
+        with current_recorder().span("read", path):
+            lang, forms = read_module_source(text, path, session=session)
         session.raise_if_errors()
         self.register_module_forms(path, lang, forms)
         import hashlib
@@ -379,20 +382,25 @@ class ModuleRegistry:
         if transactional:
             table_snapshot = TABLE.snapshot()
             compiled_before = set(self.compiled)
+        from repro.observe.recorder import current_recorder
+
+        rec = current_recorder()
         self._compiling.append(path)
         try:
             compiled = None
             if self.cache is not None:
-                compiled = self.cache.load(self, path, lang_name)
+                with rec.span("cache", f"load {path}"):
+                    compiled = self.cache.load(self, path, lang_name)
             if compiled is None:
                 compiled = compile_module(self, path, lang_name, forms)
                 self._full_keys[path] = self._compute_full_key(
                     path, lang_name, compiled.requires
                 )
                 if self.cache is not None:
-                    self.cache.store(
-                        self, path, lang_name, compiled, self._full_keys[path]
-                    )
+                    with rec.span("cache", f"store {path}"):
+                        self.cache.store(
+                            self, path, lang_name, compiled, self._full_keys[path]
+                        )
         except BaseException:
             if transactional:
                 TABLE.restore(table_snapshot)

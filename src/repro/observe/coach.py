@@ -1,0 +1,51 @@
+"""The optimization coach: what fired, what *almost* fired, and why not.
+
+St-Amour's optimization-coaching insight, applied to our §7 optimizers: a
+specialization that silently fails to fire is invisible exactly when the
+user most needs to know. The typed optimizers log every rewrite they
+perform **and** every near-miss — an operation that matched a rule's shape
+but whose operand types did not prove the rule sound (e.g. "operand typed
+``Number``, not ``Float`` — no ``unsafe-fl+``"), keyed by source location
+so the user can go add the annotation that unlocks it.
+"""
+
+from __future__ import annotations
+
+from repro.observe.events import TraceEvent
+from repro.observe.recorder import Tracer
+
+
+def coach_events(tracer: Tracer) -> list[TraceEvent]:
+    return [e for e in tracer.events if e.category == "coach"]
+
+
+def fired(tracer: Tracer) -> list[TraceEvent]:
+    return [e for e in coach_events(tracer) if e.name == "fired"]
+
+
+def near_misses(tracer: Tracer) -> list[TraceEvent]:
+    return [e for e in coach_events(tracer) if e.name == "near-miss"]
+
+
+def coach_report(tracer: Tracer) -> str:
+    """The human view, grouped into fired rewrites then actionable misses."""
+    hits = fired(tracer)
+    misses = near_misses(tracer)
+    if not hits and not misses:
+        return "optimization coach: nothing to report (no typed module optimized?)"
+    lines = [
+        f"optimization coach: {len(hits)} specialization(s) fired, "
+        f"{len(misses)} near-miss(es)"
+    ]
+    for event in hits:
+        where = f"{event.srcloc}: " if event.srcloc is not None else ""
+        lines.append(
+            f"  fired      {where}{event.attrs['op']} -> "
+            f"{event.attrs['replacement']}  [{event.attrs['rule']}]"
+        )
+    for event in misses:
+        where = f"{event.srcloc}: " if event.srcloc is not None else ""
+        lines.append(
+            f"  near-miss  {where}{event.attrs['op']}: {event.attrs['reason']}"
+        )
+    return "\n".join(lines)

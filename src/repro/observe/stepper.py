@@ -1,0 +1,58 @@
+"""The macro stepper: a readable view of the expander's transformer log.
+
+The analogue of Racket's macro stepper (the tool DrRacket grew *because*
+languages are libraries): every transformer application the expander
+performed is on the event bus as a ``macro`` instant — macro name, use-site
+source location, nesting depth, the introduction scope it flipped, and (in
+``capture_syntax`` mode) the rendered input and output syntax.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.observe.events import TraceEvent
+from repro.observe.recorder import Tracer
+
+
+def macro_steps(tracer: Tracer) -> list[TraceEvent]:
+    """Every transformer application recorded, in order."""
+    return [e for e in tracer.events if e.category == "macro"]
+
+
+def steps_by_macro(tracer: Tracer) -> dict[str, int]:
+    """Transformer applications counted per macro name."""
+    counts: dict[str, int] = {}
+    for event in macro_steps(tracer):
+        counts[event.name] = counts.get(event.name, 0) + 1
+    return counts
+
+
+def render_steps(
+    steps: list[TraceEvent], *, limit: Optional[int] = None, indent: str = ""
+) -> str:
+    """Render steps one per line (nesting shown by depth), with the
+    input/output syntax on follow-up lines when it was captured."""
+    lines: list[str] = []
+    shown = steps if limit is None else steps[:limit]
+    for i, event in enumerate(shown, 1):
+        where = f"  at {event.srcloc}" if event.srcloc is not None else ""
+        pad = "  " * max(event.depth - 1, 0)
+        lines.append(f"{indent}{i:>4}. {pad}{event.name}{where}")
+        if "in" in event.attrs:
+            lines.append(f"{indent}      {pad}in:  {event.attrs['in']}")
+        if "out" in event.attrs:
+            lines.append(f"{indent}      {pad}out: {event.attrs['out']}")
+    if limit is not None and len(steps) > limit:
+        lines.append(f"{indent}      ... ({len(steps) - limit} more steps)")
+    return "\n".join(lines)
+
+
+def stepper_report(tracer: Tracer, *, limit: Optional[int] = 200) -> str:
+    """The full stepper view: every step plus the per-macro totals."""
+    steps = macro_steps(tracer)
+    if not steps:
+        return "no macro expansion steps recorded"
+    lines = [f"macro expansion: {len(steps)} transformer application(s)"]
+    lines.append(render_steps(steps, limit=limit))
+    return "\n".join(lines)

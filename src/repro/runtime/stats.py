@@ -18,6 +18,15 @@ operations. To make the optimizer's effect observable *deterministically*
   ``cache_invalidations`` — compiled-artifact cache traffic (see
   :mod:`repro.modules.cache`).
 
+``expansion_by_macro`` attributes the ``expansion_steps`` total to the
+macro that performed each step (name -> count); :meth:`Stats.top_macros`
+ranks it, and ``repro trace --format summary`` / the REPL's ``,stats``
+render it.
+
+One ``rt.stats.snapshot()`` covers everything — expansion, dispatch, and
+cache traffic; ``rt.cache_stats()`` remains as a backward-compatible alias
+that filters the snapshot down to the ``cache_*`` counters.
+
 Benchmarks report these alongside wall-clock time.
 
 Counters are **per-Runtime**: each :class:`~repro.Runtime` owns a
@@ -35,8 +44,8 @@ from __future__ import annotations
 
 import contextvars
 from contextlib import contextmanager
-from dataclasses import dataclass, fields
-from typing import Iterator, Optional
+from dataclasses import dataclass, field, fields
+from typing import Iterator, Optional, Union
 
 
 @dataclass
@@ -50,13 +59,36 @@ class Stats:
     cache_misses: int = 0
     cache_stores: int = 0
     cache_invalidations: int = 0
+    #: expansion_steps attributed per macro name
+    expansion_by_macro: dict[str, int] = field(default_factory=dict)
 
     def reset(self) -> None:
         for f in fields(Stats):
-            setattr(self, f.name, 0)
+            if f.name == "expansion_by_macro":
+                self.expansion_by_macro.clear()
+            else:
+                setattr(self, f.name, 0)
 
-    def snapshot(self) -> dict[str, int]:
-        return {f.name: getattr(self, f.name) for f in fields(Stats)}
+    def snapshot(self) -> dict[str, Union[int, dict[str, int]]]:
+        snap: dict[str, Union[int, dict[str, int]]] = {
+            f.name: getattr(self, f.name)
+            for f in fields(Stats)
+            if f.name != "expansion_by_macro"
+        }
+        snap["expansion_by_macro"] = dict(self.expansion_by_macro)
+        return snap
+
+    def count_expansion_step(self, macro_name: str) -> None:
+        self.expansion_steps += 1
+        by_macro = self.expansion_by_macro
+        by_macro[macro_name] = by_macro.get(macro_name, 0) + 1
+
+    def top_macros(self, n: int = 10) -> list[tuple[str, int]]:
+        """The ``n`` macros with the most expansion steps, descending."""
+        ranked = sorted(
+            self.expansion_by_macro.items(), key=lambda kv: (-kv[1], kv[0])
+        )
+        return ranked[:n]
 
 
 #: the process-default instance, active when no Runtime has ever been built
@@ -110,8 +142,14 @@ class _StatsAlias:
     def reset(self) -> None:
         current_stats().reset()
 
-    def snapshot(self) -> dict[str, int]:
+    def snapshot(self) -> dict[str, Union[int, dict[str, int]]]:
         return current_stats().snapshot()
+
+    def count_expansion_step(self, macro_name: str) -> None:
+        current_stats().count_expansion_step(macro_name)
+
+    def top_macros(self, n: int = 10) -> list[tuple[str, int]]:
+        return current_stats().top_macros(n)
 
     def __repr__(self) -> str:
         return f"#<stats-alias {current_stats()!r}>"

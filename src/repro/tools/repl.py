@@ -9,6 +9,10 @@ interesting phase. Definitions persist; expression results print.
     repro> (define (square x) (* x x))
     repro> (square 12)
     144
+
+Meta-commands (",help" lists them) expose the observability subsystem:
+``,trace`` shows the macro steps and optimization-coach events of the last
+input, ``,stats`` the runtime's counters.
 """
 
 from __future__ import annotations
@@ -20,20 +24,41 @@ from repro.errors import ReproError
 from repro.reader.reader import Reader
 from repro.tools.runner import Runtime
 
+_META_HELP = """\
+meta-commands:
+  ,help          show this help
+  ,stats         show this session's runtime counters
+  ,stats reset   zero the counters
+  ,trace         show macro steps + coach report for the last input
+"""
+
 
 class Repl:
     def __init__(self, language: str = "racket") -> None:
-        self.runtime = Runtime()
+        # trace="full": the stepper renders each macro step's syntax, which
+        # is what ,trace shows. cache=False: every input recompiles the
+        # accumulated module, so expansion (the thing being traced) must
+        # actually run.
+        self.runtime = Runtime(trace="full", cache=False)
         self.language = language
         self.forms: list[str] = []
         self._counter = 0
         self._last_output = ""
+        #: event-bus index where the last evaluation started
+        self._mark = 0
+        #: module path + first source line of the last entered form (the
+        #: accumulated module re-expands *old* forms too; ,trace filters
+        #: the log down to the new one by line)
+        self._last_path: Optional[str] = None
+        self._last_start_line = 0
 
     def eval_input(self, text: str) -> str:
         """Process one input; returns the *new* output it produced."""
         text = text.strip()
         if not text:
             return ""
+        if text.startswith(","):
+            return self._meta_command(text)
         # validate it reads as one or more complete forms
         reader = Reader(text, "<repl>")
         parsed = []
@@ -48,6 +73,11 @@ class Repl:
         source = f"#lang {self.language}\n" + "\n".join(candidate)
         self._counter += 1
         path = f"<repl-{self._counter}>"
+        tracer = self.runtime.tracer
+        self._mark = len(tracer.events)
+        self._last_path = path
+        # line 1 is "#lang ..."; each earlier form occupies its own line(s)
+        self._last_start_line = 2 + sum(f.count("\n") + 1 for f in self.forms)
         self.runtime.register_module(path, source)
         output = self.runtime.run(path)
         new_output = output[len(self._last_output):] if output.startswith(
@@ -56,6 +86,65 @@ class Repl:
         self.forms = candidate
         self._last_output = output
         return new_output
+
+    # -- meta-commands -------------------------------------------------------
+
+    def _meta_command(self, text: str) -> str:
+        parts = text.split()
+        cmd, args = parts[0], parts[1:]
+        if cmd == ",help":
+            return _META_HELP
+        if cmd == ",stats":
+            if args[:1] == ["reset"]:
+                self.runtime.stats.reset()
+                return "stats reset\n"
+            snap = self.runtime.stats.snapshot()
+            lines = [
+                f"  {name:<22} {value}"
+                for name, value in snap.items()
+                if name != "expansion_by_macro"
+            ]
+            top = self.runtime.stats.top_macros(5)
+            if top:
+                lines.append("  expansion steps by macro:")
+                lines.extend(f"    {name:<20} {count}" for name, count in top)
+            return "\n".join(lines) + "\n"
+        if cmd == ",trace":
+            return self._trace_report()
+        return f"unknown meta-command {cmd} (try ,help)\n"
+
+    def _trace_report(self) -> str:
+        from repro.observe.coach import coach_report
+        from repro.observe.stepper import render_steps
+
+        tracer = self.runtime.tracer
+        if self._last_path is None:
+            return "nothing evaluated yet\n"
+        recent = tracer.events[self._mark:]
+
+        def from_last_input(event) -> bool:
+            loc = event.srcloc
+            return (
+                loc is not None
+                and loc.source == self._last_path
+                and loc.line >= self._last_start_line
+            )
+
+        steps = [e for e in recent if e.category == "macro" and from_last_input(e)]
+        if not steps:  # e.g. a form whose expansion carries no use-site locs
+            steps = [e for e in recent if e.category == "macro"]
+        lines = []
+        if steps:
+            lines.append(f"macro steps for the last input ({len(steps)}):")
+            lines.append(render_steps(steps, limit=50))
+        else:
+            lines.append("no macro steps recorded for the last input")
+
+        # coach_report reads only .events; give it the last input's slice
+        from types import SimpleNamespace
+
+        lines.append(coach_report(SimpleNamespace(events=recent)))
+        return "\n".join(lines) + "\n"
 
     def _wrap(self, text: str, parsed: list) -> str:
         """Expressions get their value displayed; definitions run silently."""
@@ -78,7 +167,10 @@ class Repl:
     def run(self, stdin=None, stdout=None) -> int:
         stdin = stdin if stdin is not None else sys.stdin
         stdout = stdout if stdout is not None else sys.stdout
-        stdout.write(f"repro REPL (#lang {self.language}); ctrl-D to exit\n")
+        stdout.write(
+            f"repro REPL (#lang {self.language}); ctrl-D to exit, "
+            f",help for meta-commands\n"
+        )
         # %repl-show displays non-void values, like Racket's REPL
         if self.language in ("typed", "typed/racket", "simple-type"):
             self.forms.append(

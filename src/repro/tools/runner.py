@@ -12,7 +12,8 @@ from __future__ import annotations
 import itertools
 import os
 import weakref
-from typing import Any, Optional
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional
 
 from repro.core.namespace import Namespace
 from repro.diagnostics import CompileResult, Diagnostic
@@ -20,6 +21,14 @@ from repro.errors import CompilationFailed, ReproError
 from repro.modules.cache import ENV_CACHE_DIR, ModuleCache, default_cache_dir
 from repro.modules.instantiate import instantiate_module
 from repro.modules.registry import ModuleRegistry
+from repro.observe.recorder import (
+    Recorder,
+    Tracer,
+    install_global_tracer,
+    resolve_trace,
+    uninstall_global_tracer,
+    use_recorder,
+)
 from repro.runtime.ports import capture_output
 from repro.runtime.stats import Stats, set_ambient_stats, use_stats
 
@@ -42,6 +51,14 @@ class Runtime:
     it off even when the environment variable is set. The ``repro`` CLI
     enables the cache by default, mirroring Racket's ``compiled/``.
 
+    ``trace`` selects the observability recorder (:mod:`repro.observe`):
+    ``None`` (default) adopts the process-global tracer if one is installed,
+    otherwise no tracing; ``True`` attaches a fresh :class:`Tracer` (phase
+    spans, macro steps, optimization-coach events); ``"full"`` additionally
+    renders each macro step's input/output syntax (the stepper's expensive
+    mode); ``False`` forces tracing off; a :class:`Recorder` instance is
+    used as given. The attached recorder is ``rt.tracer``.
+
     Each Runtime owns its instrumentation counters (``rt.stats``) and its
     slice of the global binding table; ``close()`` (or garbage collection,
     or use as a context manager) reclaims the table entries so repeated
@@ -54,6 +71,7 @@ class Runtime:
         expansion_fuel: Optional[int] = None,
         cache: Optional[bool] = None,
         cache_dir: Optional[str] = None,
+        trace: Any = None,
     ) -> None:
         self.registry = ModuleRegistry()
         if expansion_fuel is not None:
@@ -61,6 +79,7 @@ class Runtime:
         self.stats = Stats()
         # module-level STATS reads now track this (newest) Runtime
         set_ambient_stats(self.stats)
+        self.tracer: Optional[Recorder] = resolve_trace(trace)
         self.cache: Optional[ModuleCache] = None
         if cache is not False:
             resolved = cache_dir or (
@@ -114,15 +133,27 @@ class Runtime:
         make_lazy_language(self.registry)
         make_datalog_language(self.registry)
 
+    @contextmanager
+    def _observed(self) -> Iterator[None]:
+        """Activate this Runtime's stats and recorder for one operation."""
+        with use_stats(self.stats):
+            if self.tracer is not None:
+                with use_recorder(self.tracer):
+                    yield
+            else:
+                yield
+
     # -- module registration -------------------------------------------------
 
     def register_module(self, path: str, source: str) -> str:
         """Register a module from ``#lang`` source text under ``path``."""
-        self.registry.register_module_source(path, source)
+        with self._observed():
+            self.registry.register_module_source(path, source)
         return path
 
     def register_file(self, filename: str) -> str:
-        return self.registry.register_file(filename)
+        with self._observed():
+            return self.registry.register_file(filename)
 
     # -- compilation / execution ----------------------------------------------
 
@@ -135,7 +166,7 @@ class Runtime:
         (``result.ok`` distinguishes success), and whose ``module`` is the
         CompiledModule on success.
         """
-        with use_stats(self.stats):
+        with self._observed():
             if not diagnostics:
                 return self.registry.get_compiled(path)
             try:
@@ -151,7 +182,7 @@ class Runtime:
 
     def instantiate(self, path: str, ns: Optional[Namespace] = None) -> Namespace:
         """Compile and run a module; returns the namespace it ran in."""
-        with use_stats(self.stats):
+        with self._observed():
             if ns is None:
                 ns = self.make_namespace()
             instantiate_module(self.registry, path, ns)
@@ -183,13 +214,22 @@ class Runtime:
 
 _USAGE = """\
 usage: python -m repro [options] <file.rkt>
+       python -m repro run [options] <file.rkt>
+       python -m repro trace <file.rkt|script.py> [--format chrome|summary|jsonl] [--out FILE]
        python -m repro cache stats
        python -m repro cache clear
 
 options:
-  --cache            use the compiled-artifact cache (default)
-  --no-cache         compile from source, ignore the cache
-  --cache-dir DIR    cache directory (default .repro-cache/ or $REPRO_CACHE_DIR)
+  --cache              use the compiled-artifact cache (default)
+  --no-cache           compile from source, ignore the cache
+  --cache-dir DIR      cache directory (default .repro-cache/ or $REPRO_CACHE_DIR)
+  --log-optimizations  report fired + near-miss type specializations on
+                       stderr after the run (implies --no-cache)
+
+trace writes the trace to stdout (or --out FILE) and the program's own
+output to stderr. Tracing a .py driver script installs a process-global
+tracer observed by every Runtime the script creates; a .rkt file is run
+directly, with the artifact cache off so the whole pipeline is visible.
 """
 
 
@@ -214,6 +254,102 @@ def _cache_command(args: list[str], cache_dir: Optional[str]) -> int:
     return 2
 
 
+def _trace_command(args: list[str]) -> int:
+    """``repro trace file`` — run under a full tracer, emit the trace.
+
+    The trace goes to stdout (or ``--out FILE``); the traced program's own
+    output is redirected to stderr so a chrome/jsonl export stays parseable.
+    A ``.py`` file is treated as a driver script and run under a
+    process-global tracer; anything else is run as a ``#lang`` module file
+    with the artifact cache disabled (a cache hit would skip expansion and
+    leave nothing to trace).
+    """
+    import sys
+    from contextlib import redirect_stdout
+
+    from repro.observe.profiler import export as export_trace
+
+    fmt = "chrome"
+    out: Optional[str] = None
+    files: list[str] = []
+    i = 0
+    while i < len(args):
+        arg = args[i]
+        if arg == "--format":
+            if i + 1 >= len(args):
+                print("error: --format requires a value", file=sys.stderr)
+                return 2
+            i += 1
+            fmt = args[i]
+        elif arg.startswith("--format="):
+            fmt = arg[len("--format="):]
+        elif arg == "--out":
+            if i + 1 >= len(args):
+                print("error: --out requires a file", file=sys.stderr)
+                return 2
+            i += 1
+            out = args[i]
+        elif arg.startswith("--out="):
+            out = arg[len("--out="):]
+        else:
+            files.append(arg)
+        i += 1
+    if fmt not in ("chrome", "summary", "jsonl"):
+        print(f"error: unknown trace format: {fmt} (chrome|summary|jsonl)",
+              file=sys.stderr)
+        return 2
+    if len(files) != 1:
+        print(_USAGE, file=sys.stderr)
+        return 2
+    file = files[0]
+
+    tracer = Tracer(capture_syntax=True)
+    if file.endswith(".py"):
+        import runpy
+
+        install_global_tracer(tracer)
+        try:
+            with redirect_stdout(sys.stderr):
+                runpy.run_path(file, run_name="__main__")
+        except SystemExit as exc:
+            code = exc.code if isinstance(exc.code, int) else 0 if exc.code is None else 1
+            if code != 0:
+                print(f"error: {file} exited with status {code}", file=sys.stderr)
+                return code
+        except OSError as err:
+            print(f"error: cannot run {file}: {err.strerror or err}", file=sys.stderr)
+            return 1
+        finally:
+            uninstall_global_tracer()
+    else:
+        rt = Runtime(trace=tracer, cache=False)
+        try:
+            path = rt.register_file(file)
+            output = rt.run(path)
+        except ReproError as err:
+            print(err, file=sys.stderr)
+            return 1
+        except OSError as err:
+            print(f"error: cannot read {file}: {err.strerror or err}", file=sys.stderr)
+            return 1
+        finally:
+            rt.close()
+        if output:
+            sys.stderr.write(output)
+
+    text = export_trace(tracer, fmt)
+    if out is not None:
+        with open(out, "w", encoding="utf-8") as f:
+            f.write(text)
+            if not text.endswith("\n"):
+                f.write("\n")
+        print(f"wrote {fmt} trace ({len(tracer.events)} events) to {out}",
+              file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     """CLI: ``python -m repro program.rkt`` runs a ``#lang`` module file."""
     import sys
@@ -221,6 +357,7 @@ def main(argv: Optional[list[str]] = None) -> int:
     args = list(argv if argv is not None else sys.argv[1:])
     use_cache: Optional[bool] = True  # the CLI mirrors Racket's compiled/
     cache_dir: Optional[str] = None
+    log_optimizations = False
     rest: list[str] = []
     i = 0
     while i < len(args):
@@ -237,17 +374,28 @@ def main(argv: Optional[list[str]] = None) -> int:
             cache_dir = args[i]
         elif arg.startswith("--cache-dir="):
             cache_dir = arg[len("--cache-dir="):]
+        elif arg == "--log-optimizations":
+            log_optimizations = True
         else:
             rest.append(arg)
         i += 1
 
     if rest and rest[0] == "cache":
         return _cache_command(rest[1:], cache_dir)
+    if rest and rest[0] == "trace":
+        return _trace_command(rest[1:])
+    if rest and rest[0] == "run":
+        rest = rest[1:]
 
     if not rest:
         print(_USAGE, file=sys.stderr)
         return 2
-    rt = Runtime(cache=use_cache, cache_dir=cache_dir)
+    tracer: Optional[Tracer] = None
+    if log_optimizations:
+        # a cache hit would skip the optimizer — nothing for the coach to see
+        tracer = Tracer()
+        use_cache = False
+    rt = Runtime(cache=use_cache, cache_dir=cache_dir, trace=tracer)
     try:
         path = rt.register_file(rest[0])
         rt.instantiate(path)
@@ -264,6 +412,10 @@ def main(argv: Optional[list[str]] = None) -> int:
             for diag in rt.cache.diagnostics:
                 print(diag, file=sys.stderr)
         rt.close()
+    if tracer is not None:
+        from repro.observe.coach import coach_report
+
+        print(coach_report(tracer), file=sys.stderr)
     snap = rt.stats
     if rt.cache is not None and (snap.cache_hits or snap.cache_misses):
         print(

@@ -71,6 +71,63 @@ class TestRepl:
         assert "4\n" in out
 
 
+class TestReplMetaCommands:
+    def test_help_lists_commands(self):
+        out = drive(",help")
+        assert ",stats" in out
+        assert ",trace" in out
+
+    def test_unknown_meta_command(self):
+        out = drive(",bogus")
+        assert "unknown meta-command ,bogus" in out
+
+    def test_stats_shows_counters(self):
+        out = drive("(+ 1 2)", ",stats")
+        assert "expansion_steps" in out
+        assert "generic_dispatches" in out
+        # per-macro attribution rides along (satellite: expansion_by_macro)
+        assert "expansion steps by macro:" in out
+
+    def test_stats_reset(self):
+        repl = Repl()
+        repl.forms.append("(define (%repl-show v) (displayln v))")
+        repl.eval_input("(+ 1 2)")
+        assert repl.runtime.stats.expansion_steps > 0
+        out = repl.eval_input(",stats reset")
+        assert "stats reset" in out
+        assert repl.runtime.stats.expansion_steps == 0
+
+    def test_trace_before_any_eval(self):
+        out = drive(",trace")
+        assert "nothing evaluated yet" in out
+
+    def test_trace_shows_last_input_macro_steps(self):
+        repl = Repl()
+        repl.forms.append("(define (%repl-show v) (displayln v))")
+        repl.eval_input(
+            "(define-syntax twice (syntax-rules () [(_ e) (begin e e)]))"
+        )
+        repl.eval_input("(twice (display 'hi))")
+        out = repl.eval_input(",trace")
+        assert "twice" in out
+        # the full stepper renders input/output syntax per step
+        assert "in:" in out and "out:" in out
+        # steps of *earlier* inputs are filtered out of the headline list
+        steps_section = out.split("optimization coach")[0]
+        assert "define-syntax" not in steps_section.split("twice")[0]
+
+    def test_trace_shows_coach_events_for_typed_input(self):
+        repl = Repl("typed")
+        repl.forms.append(
+            "(define (%repl-show [v : Any]) : Void"
+            " (if (void? v) (void) (displayln v)))"
+        )
+        repl.eval_input("(define (f [x : Float]) : Float (* x x))")
+        out = repl.eval_input(",trace")
+        assert "optimization coach:" in out
+        assert "unsafe-fl*" in out
+
+
 class TestMiscForms:
     def test_with_handlers_catches(self, run):
         assert run(
