@@ -29,8 +29,10 @@ if _sys.getrecursionlimit() < 100_000:
 from repro.diagnostics import CompileResult, Diagnostic, DiagnosticSession
 from repro.errors import (
     AmbiguousBindingError,
+    BudgetExhausted,
     CompilationFailed,
     ContractViolation,
+    EvaluationCancelled,
     ExpansionLimitError,
     ModuleError,
     ParseCoreError,
@@ -42,6 +44,7 @@ from repro.errors import (
     UnboundIdentifierError,
     WrongTypeError,
 )
+from repro.guard import Budget, CancelToken
 from repro.observe import Recorder, Tracer
 from repro.runtime.stats import STATS, Stats
 from repro.tools.runner import Runtime
@@ -52,6 +55,10 @@ __all__ = [
     "Runtime",
     "STATS",
     "Stats",
+    "Budget",
+    "CancelToken",
+    "BudgetExhausted",
+    "EvaluationCancelled",
     "Recorder",
     "Tracer",
     "CompileResult",

@@ -57,6 +57,13 @@ class CEnv:
 class Compiler:
     def __init__(self, ns: Namespace) -> None:
         self.ns = ns
+        # Compilation happens at instantiation time, under the owning
+        # Runtime's guard (if any) — so governance checks are *compiled in*
+        # only for governed Runtimes, the way a bytecode backend would
+        # inline them, and ungoverned code carries no hooks at all.
+        from repro.guard.budget import current_guard
+
+        self.guard = current_guard()
 
     # -- expressions ------------------------------------------------------
 
@@ -248,6 +255,16 @@ class Compiler:
                 and (value.arity_max is None or nargs <= value.arity_max)
             ):
                 pyfn = value.fn
+                guard = self.guard
+                if guard is not None and guard.track_allocations and value.allocates:
+                    # charge the allocation budget at this compiled call
+                    # site; the wrapped pyfn keeps the inline fast path
+                    raw = pyfn
+
+                    def pyfn(*args: Any, _raw: Any = raw, _guard: Any = guard) -> Any:
+                        _guard.charge_alloc()
+                        return _raw(*args)
+
                 if nargs == 0:
                     return lambda env: pyfn()
                 if nargs == 1:

@@ -4,13 +4,22 @@ The object language guarantees proper tail calls (benchmarks are written with
 tail-recursive loops, as Scheme programs are). Compiled code in tail position
 returns a :class:`TailCall` record instead of recursing; the driver loop in
 :func:`apply_procedure` unwinds it, keeping the Python stack flat.
+
+Resource governance (:mod:`repro.guard`) hooks in here: when the current
+Runtime carries a :class:`~repro.guard.Budget`, applications take a second
+trampoline loop inlined in :func:`apply_procedure` that charges one *step*
+per closure invocation (tail calls included — each trampoline iteration is
+a step) and performs the amortized deadline/cancellation checkpoint.
+Ungoverned Runtimes pay exactly one context-variable read per application
+and keep the original fast loop.
 """
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Optional
 
 from repro.errors import ArityError, ContractViolation, RuntimeReproError
+from repro.guard.budget import current_guard
 from repro.runtime.stats import STATS
 from repro.runtime.values import (
     Closure,
@@ -56,33 +65,84 @@ def _make_frame(closure: Closure, args: list[Any]) -> list[Any]:
     return args
 
 
+def _apply_other(fn: Any, args: list[Any]) -> Any:
+    """Apply a non-closure callable (shared by both trampolines)."""
+    t = type(fn)
+    if t is Primitive:
+        if len(args) < fn.arity_min or (
+            fn.arity_max is not None and len(args) > fn.arity_max
+        ):
+            raise ArityError(
+                f"{fn.name}: arity mismatch, got {len(args)} arguments"
+            )
+        return fn.fn(*args)
+    if t is ContractedProcedure:
+        return fn.contract.apply(fn, args)
+    if isinstance(fn, Procedure):  # pragma: no cover - future proc kinds
+        raise RuntimeReproError(f"cannot apply {fn!r}")
+    from repro.runtime.printing import write_value
+
+    raise RuntimeReproError(f"application: not a procedure: {write_value(fn)}")
+
+
 def apply_procedure(fn: Any, args: list[Any]) -> Any:
-    """Apply ``fn`` to ``args``, draining tail calls."""
+    """Apply ``fn`` to ``args``, draining tail calls.
+
+    The governed trampoline is inlined below rather than delegated: an
+    extra Python frame per application costs more than all of the charging
+    arithmetic combined, and applications are the platform's hottest path.
+    The per-step cost under a budget is one slot increment and one integer
+    compare; ``checkpoint`` (clock read, cancellation flag, step-limit
+    verdict) runs every ``check_interval`` steps. Those same two lines are
+    what a bytecode backend would inline into emitted function prologues.
+    """
+    guard = current_guard()
+    if guard is None:
+        while True:
+            if type(fn) is Closure:
+                env = (_make_frame(fn, args), fn.env)
+                result = fn.body(env)
+                if type(result) is TailCall:
+                    fn = result.fn
+                    args = result.args
+                    continue
+                return result
+            return _apply_other(fn, args)
+    max_depth = guard.max_depth
+    alloc = guard.allocations is not None
     while True:
-        t = type(fn)
-        if t is Closure:
+        if type(fn) is Closure:
+            steps = guard.steps_used + 1
+            guard.steps_used = steps
+            if steps >= guard.next_check:
+                guard.checkpoint(fn.name)
             env = (_make_frame(fn, args), fn.env)
-            result = fn.body(env)
+            if max_depth is None:
+                result = fn.body(env)
+            else:
+                # tail bounces balance the +1/-1 within this loop, so
+                # `depth` tracks true (non-tail) nesting
+                depth = guard.depth + 1
+                guard.depth = depth
+                if depth > max_depth:
+                    guard._exhaust(
+                        "depth", "G003",
+                        f"evaluation exceeded its recursion-depth budget "
+                        f"of {max_depth}",
+                        fn.name,
+                    )
+                try:
+                    result = fn.body(env)
+                finally:
+                    guard.depth = depth - 1
             if type(result) is TailCall:
                 fn = result.fn
                 args = result.args
                 continue
             return result
-        if t is Primitive:
-            if len(args) < fn.arity_min or (
-                fn.arity_max is not None and len(args) > fn.arity_max
-            ):
-                raise ArityError(
-                    f"{fn.name}: arity mismatch, got {len(args)} arguments"
-                )
-            return fn.fn(*args)
-        if t is ContractedProcedure:
-            return fn.contract.apply(fn, args)
-        if isinstance(fn, Procedure):  # pragma: no cover - future proc kinds
-            raise RuntimeReproError(f"cannot apply {fn!r}")
-        from repro.runtime.printing import write_value
-
-        raise RuntimeReproError(f"application: not a procedure: {write_value(fn)}")
+        if alloc and type(fn) is Primitive and fn.allocates:
+            guard.charge_alloc()
+        return _apply_other(fn, args)
 
 
 def tail_apply(fn: Any, args: list[Any]) -> Any:

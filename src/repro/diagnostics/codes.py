@@ -9,6 +9,7 @@ test suites) can match on them instead of on message text. The namespaces:
 - ``M00x`` — module system errors
 - ``C00x`` — contract violations
 - ``C10x`` — compiled-artifact cache warnings
+- ``G00x`` — resource-governance errors (budgets, cancellation)
 - ``X00x`` — runtime errors and aggregates
 """
 
@@ -39,6 +40,14 @@ CODES: dict[str, str] = {
     "C101": "corrupt compiled artifact (recompiled from source)",
     "C102": "stale compiled artifact (recompiled from source)",
     "C103": "compiled artifact could not be stored",
+    "C104": "corrupt compiled artifact quarantined (recompiled from source)",
+    "C105": "cache directory unavailable (caching disabled)",
+    # resource governance (repro.guard)
+    "G001": "evaluation step budget exhausted",
+    "G002": "evaluation wall-clock deadline exceeded",
+    "G003": "evaluation recursion-depth budget exhausted",
+    "G004": "evaluation allocation budget exhausted",
+    "G005": "evaluation cancelled by the host",
     # runtime / aggregate
     "X001": "runtime error",
     "X002": "wrong runtime type",

@@ -208,6 +208,48 @@ class ArityError(RuntimeReproError):
     DEFAULT_CODE = "X003"
 
 
+class BudgetExhausted(RuntimeReproError):
+    """A resource budget ran out during evaluation (see :mod:`repro.guard`).
+
+    ``kind`` names the exhausted dimension (``"steps"``, ``"deadline"``,
+    ``"depth"``, ``"allocations"``) and ``steps_consumed`` reports the
+    evaluation steps charged up to the kill — the structured counterpart of
+    PR 1's :class:`ExpansionLimitError` for the run-time phase.
+    """
+
+    DEFAULT_CODE = "G001"
+
+    def __init__(
+        self,
+        message: str,
+        srcloc: Optional["SrcLoc"] = None,
+        *,
+        kind: str = "steps",
+        steps_consumed: int = 0,
+        code: Optional[str] = None,
+    ) -> None:
+        self.kind = kind
+        self.steps_consumed = steps_consumed
+        super().__init__(message, srcloc, code=code)
+
+
+class EvaluationCancelled(RuntimeReproError):
+    """The host cancelled an in-flight evaluation via a CancelToken."""
+
+    DEFAULT_CODE = "G005"
+
+    def __init__(
+        self,
+        message: str,
+        srcloc: Optional["SrcLoc"] = None,
+        *,
+        steps_consumed: int = 0,
+        code: Optional[str] = None,
+    ) -> None:
+        self.steps_consumed = steps_consumed
+        super().__init__(message, srcloc, code=code)
+
+
 class ModuleError(ReproError):
     """Module resolution, cycle, or instantiation error."""
 

@@ -1,0 +1,26 @@
+"""Resource governance for evaluation (``repro.guard``).
+
+The paper's platform runs user code at *both* phases — macros at compile
+time, programs at run time. PR 1 bounded the compile-time half with
+expansion fuel; this subsystem generalizes that to run time: a per-Runtime
+:class:`Budget` (evaluation step fuel, wall-clock deadline, recursion-depth
+cap, optional allocation counter) plus a cooperative :class:`CancelToken`,
+threaded through the evaluator with guarded no-op call sites the same way
+:mod:`repro.observe` is threaded through the compilation pipeline.
+"""
+
+from repro.guard.budget import (
+    Budget,
+    CancelToken,
+    current_guard,
+    resolve_budget,
+    use_guard,
+)
+
+__all__ = [
+    "Budget",
+    "CancelToken",
+    "current_guard",
+    "resolve_budget",
+    "use_guard",
+]

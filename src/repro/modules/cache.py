@@ -16,8 +16,29 @@ requires the module without re-expanding it. This module reproduces that:
   transitively, so editing a required module invalidates all of its
   requirers without touching their files;
 - corrupt or stale artifacts degrade to a recompile plus a ``C``-series
-  warning diagnostic (C101 corrupt / C102 stale / C103 store failed), never
-  an error.
+  warning diagnostic, never an error.
+
+Crash safety (ISSUE 6)
+----------------------
+
+The store is hardened against torn writes, corruption, and concurrent
+writers, validated by the :mod:`repro.faults` chaos suite:
+
+- every artifact is wrapped in a checksummed envelope (magic + SHA-256 of
+  the payload), so truncation and bit-rot are *detected*, not just likely
+  to fail unpickling;
+- writes go through a temp file + atomic ``os.replace`` under an advisory
+  per-hash file lock (``<hash>.zo.lock``), so concurrent writers of the
+  same content hash serialize — the loser skips the (identical) write;
+- artifacts that fail validation are moved to ``<dir>/quarantine/`` with a
+  ``C104`` warning and the module recompiles transparently (``C101`` if
+  even quarantining fails and the file is unlinked instead);
+- transient I/O errors are retried a bounded number of times before the
+  operation degrades;
+- an unwritable cache directory disables caching for the process with a
+  single ``C105`` warning instead of propagating (or warning per store);
+- ``repro cache doctor`` scans a cache directory, quarantines invalid
+  artifacts, and removes torn-write debris (``*.tmp.*``) and stale locks.
 
 Serialization notes
 -------------------
@@ -45,10 +66,18 @@ import hashlib
 import io
 import os
 import pickle
+import time
 import weakref
+from contextlib import suppress
 from typing import TYPE_CHECKING, Any, Optional
 
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-posix fallback
+    fcntl = None  # type: ignore[assignment]
+
 from repro.diagnostics.diagnostic import Diagnostic
+from repro.faults import fault_bytes, fault_point
 from repro.observe.recorder import current_recorder
 from repro.runtime.stats import STATS
 from repro.runtime.values import Keyword, Symbol
@@ -60,7 +89,21 @@ if TYPE_CHECKING:
 
 #: bump when the artifact layout (or anything it pickles) changes shape;
 #: part of every content hash, so old artifacts simply stop matching
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: artifact envelope: MAGIC + SHA-256(payload) + payload. The digest makes
+#: corruption (truncation, bit-flips) a *detected* condition rather than a
+#: probabilistic unpickling failure.
+MAGIC = b"REPROZO\x02"
+_DIGEST_LEN = 32
+
+#: subdirectory that corrupt artifacts are moved into (never deleted, so a
+#: postmortem can inspect what went wrong)
+QUARANTINE_DIR = "quarantine"
+
+#: bounded retry policy for transient I/O errors
+RETRY_ATTEMPTS = 3
+_RETRY_BACKOFF = 0.005
 
 #: default cache directory, relative to the working directory (the analogue
 #: of Racket's ``compiled/``); overridable via Runtime(cache_dir=) and the
@@ -157,6 +200,12 @@ class ModuleCache:
         #: C-series warnings accumulated by load/store failures; surfaced by
         #: the CLI and inspectable as ``runtime.cache.diagnostics``
         self.diagnostics: list[Diagnostic] = []
+        #: set when the cache directory cannot be created: stores become
+        #: no-ops after one C105 warning instead of warning per module
+        self.disabled = False
+        #: transient-I/O retries performed (chaos-suite observability)
+        self.retries = 0
+        self._dir_ok = False
 
     # -- paths and keys -----------------------------------------------------
 
@@ -178,6 +227,135 @@ class ModuleCache:
         if rec.enabled:
             rec.instant("cache", name, attrs={"path": path})
 
+    # -- resilience helpers --------------------------------------------------
+
+    def _retrying(self, site: str, fn: Any) -> Any:
+        """Run ``fn``, retrying transient ``OSError`` a bounded number of
+        times with a short backoff; the final failure propagates."""
+        for attempt in range(RETRY_ATTEMPTS):
+            try:
+                return fn()
+            except OSError:
+                if attempt + 1 >= RETRY_ATTEMPTS:
+                    raise
+                self.retries += 1
+                self._instant("retry", site)
+                time.sleep(_RETRY_BACKOFF * (attempt + 1))
+
+    def _ensure_dir(self) -> bool:
+        """Create the cache directory; degrade to one C105 on failure."""
+        if self._dir_ok:
+            return True
+        if self.disabled:
+            return False
+        try:
+            fault_point("cache.makedirs")
+            os.makedirs(self.dir, exist_ok=True)
+        except OSError as err:
+            self.disabled = True
+            self._warn(
+                "C105",
+                f"cache directory {self.dir} unavailable "
+                f"({type(err).__name__}: {err}); caching disabled",
+            )
+            return False
+        self._dir_ok = True
+        return True
+
+    @staticmethod
+    def _verify_envelope(data: bytes) -> bytes:
+        """Check the checksummed envelope; returns the pickle payload."""
+        header = len(MAGIC) + _DIGEST_LEN
+        if len(data) < header:
+            raise ValueError("truncated artifact")
+        if data[: len(MAGIC)] != MAGIC:
+            raise ValueError("bad artifact magic")
+        digest = data[len(MAGIC): header]
+        payload = data[header:]
+        if hashlib.sha256(payload).digest() != digest:
+            raise ValueError("artifact checksum mismatch")
+        return payload
+
+    def _quarantine(self, file: str) -> Optional[str]:
+        """Move a bad artifact into the quarantine subdirectory.
+
+        Returns the destination path, or None if quarantining itself failed
+        (in which case the file is unlinked, best-effort, so the corrupt
+        artifact cannot poison the next run either way).
+        """
+        name = os.path.basename(file)
+        qdir = os.path.join(self.dir, QUARANTINE_DIR)
+        try:
+            fault_point("cache.quarantine")
+            os.makedirs(qdir, exist_ok=True)
+            dest = os.path.join(qdir, name)
+            n = 0
+            while os.path.exists(dest):
+                n += 1
+                dest = os.path.join(qdir, f"{name}.{n}")
+            os.replace(file, dest)
+            return dest
+        except OSError:
+            with suppress(Exception):
+                os.unlink(file)
+            return None
+
+    # -- locking (one writer per content hash) -------------------------------
+
+    def _acquire_lock(self, file: str) -> Optional[tuple]:
+        """Advisory per-artifact lock; None when another writer holds it.
+
+        Uses ``flock`` where available (O_CREAT|O_EXCL elsewhere). The lock
+        file is removed on release; the classic unlink/flock race between
+        three writers is benign here because the artifact itself is written
+        via atomic rename and is content-addressed — the worst case is one
+        redundant identical write, never a torn or mixed artifact.
+        """
+        lock_path = f"{file}.lock"
+        try:
+            fault_point("cache.lock")
+            if fcntl is not None:
+                fd = os.open(lock_path, os.O_CREAT | os.O_RDWR, 0o644)
+                try:
+                    fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                except OSError:
+                    os.close(fd)
+                    return None
+                return (fd, lock_path)
+            fd = os.open(  # pragma: no cover - non-posix fallback
+                lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644
+            )
+            return (fd, lock_path)  # pragma: no cover
+        except FileExistsError:  # pragma: no cover - non-posix fallback
+            return None
+        except OSError:
+            return None
+
+    @staticmethod
+    def _release_lock(lock: tuple) -> None:
+        fd, lock_path = lock
+        with suppress(Exception):
+            os.close(fd)
+        with suppress(Exception):
+            os.unlink(lock_path)
+
+    def _lock_is_stale(self, lock_path: str) -> bool:
+        """True when no live process holds the advisory lock."""
+        if fcntl is None:  # pragma: no cover - non-posix fallback
+            return True
+        try:
+            fd = os.open(lock_path, os.O_RDWR)
+        except OSError:
+            return False
+        try:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                return True
+            except OSError:
+                return False
+        finally:
+            os.close(fd)
+
     # -- load ---------------------------------------------------------------
 
     def load(
@@ -185,10 +363,11 @@ class ModuleCache:
     ) -> Optional["CompiledModule"]:
         """Load ``path`` from its artifact, or None to fall back to a compile.
 
-        Validates the artifact header and every recorded dependency's full
-        key (compiling or cache-loading the dependencies in the process);
-        on success installs the module's binding-table fragment and counts a
-        hit. All failure modes count a miss and return None.
+        Validates the envelope checksum, the artifact header, and every
+        recorded dependency's full key (compiling or cache-loading the
+        dependencies in the process); on success installs the module's
+        binding-table fragment and counts a hit. All failure modes count a
+        miss and return None; invalid artifacts are quarantined (C104).
         """
         source_hash = registry.source_hash(path)
         file = self.artifact_path(path, lang, source_hash)
@@ -196,9 +375,15 @@ class ModuleCache:
             STATS.cache_misses += 1
             self._instant("miss", path)
             return None
-        try:
+
+        def read() -> bytes:
             with open(file, "rb") as f:
-                artifact = _ArtifactUnpickler(f, registry).load()
+                return fault_bytes("cache.read", f.read())
+
+        try:
+            data = self._retrying("cache.read", read)
+            payload = self._verify_envelope(data)
+            artifact = _ArtifactUnpickler(io.BytesIO(payload), registry).load()
             if (
                 not isinstance(artifact, dict)
                 or artifact.get("format") != FORMAT_VERSION
@@ -207,17 +392,23 @@ class ModuleCache:
             ):
                 raise ValueError("artifact header mismatch")
         except Exception as err:
-            self._warn(
-                "C101",
-                f"corrupt compiled artifact for {path} "
-                f"({type(err).__name__}: {err}); recompiling from source",
-            )
+            quarantined = self._quarantine(file)
+            if quarantined is not None:
+                self._warn(
+                    "C104",
+                    f"corrupt compiled artifact for {path} "
+                    f"({type(err).__name__}: {err}); quarantined to "
+                    f"{quarantined}; recompiling from source",
+                )
+                self._instant("quarantine", path)
+            else:
+                self._warn(
+                    "C101",
+                    f"corrupt compiled artifact for {path} "
+                    f"({type(err).__name__}: {err}); recompiling from source",
+                )
             STATS.cache_misses += 1
             self._instant("miss", path)
-            try:
-                os.unlink(file)
-            except OSError:
-                pass
             return None
 
         for dep_path, dep_key in artifact["deps"]:
@@ -262,7 +453,14 @@ class ModuleCache:
         module: "CompiledModule",
         full_key: str,
     ) -> bool:
-        """Write ``module``'s artifact; best-effort (False on failure)."""
+        """Write ``module``'s artifact; best-effort (False on failure).
+
+        One writer per content hash: a concurrent writer holding the
+        artifact's lock makes this a silent no-op (it is writing the same
+        bytes). Torn writes cannot surface: the envelope is fully
+        serialized in memory, written to a temp file, and atomically
+        renamed into place.
+        """
         deps = []
         for dep_path in module.requires:
             dep_key = registry.full_key_of(dep_path)
@@ -290,21 +488,50 @@ class ModuleCache:
             # macro) leaves no partial file behind
             buf = io.BytesIO()
             _ArtifactPickler(buf, token_prefix=full_key[:16]).dump(artifact)
-            os.makedirs(self.dir, exist_ok=True)
-            with open(tmp, "wb") as f:
-                f.write(buf.getvalue())
-            os.replace(tmp, file)
+            payload = buf.getvalue()
+            envelope = MAGIC + hashlib.sha256(payload).digest() + payload
         except Exception as err:
             self._warn(
                 "C103",
                 f"could not cache compiled artifact for {path} "
                 f"({type(err).__name__}: {err})",
             )
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
             return False
+        if not self._ensure_dir():
+            return False
+        lock = self._acquire_lock(file)
+        if lock is None:
+            # another writer owns this content hash; its bytes are ours
+            self._instant("store-skipped", path)
+            return False
+        try:
+            # no existence short-circuit: the same source hash can hold a
+            # *stale* artifact (a dependency's full key changed), and the
+            # rename is atomic either way
+            envelope = fault_bytes("cache.write", envelope)
+
+            def write() -> None:
+                with open(tmp, "wb") as f:
+                    f.write(envelope)
+                fault_point("cache.replace")
+                os.replace(tmp, file)
+
+            self._retrying("cache.write", write)
+        except Exception as err:
+            self._warn(
+                "C103",
+                f"could not cache compiled artifact for {path} "
+                f"({type(err).__name__}: {err})",
+            )
+            # the cleanup must never mask the original degradation: a
+            # failing unlink (gone already, permissions, injected fault)
+            # is suppressed entirely
+            with suppress(Exception):
+                fault_point("cache.unlink")
+                os.unlink(tmp)
+            return False
+        finally:
+            self._release_lock(lock)
         STATS.cache_stores += 1
         self._instant("store", path)
         return True
@@ -336,3 +563,56 @@ class ModuleCache:
             except OSError:
                 continue
         return removed
+
+    def doctor(self) -> dict:
+        """Scan and repair the cache directory.
+
+        - validates every artifact's envelope (magic + checksum);
+          invalid ones are quarantined;
+        - removes torn-write debris (``*.tmp.*`` files left by a crash
+          between write and rename);
+        - removes stale lock files (no live holder).
+
+        Returns a report dict; never raises for per-file problems.
+        """
+        report: dict[str, Any] = {
+            "dir": self.dir,
+            "scanned": 0,
+            "ok": 0,
+            "quarantined": [],
+            "tmp_removed": [],
+            "locks_removed": [],
+            "errors": [],
+        }
+        try:
+            names = sorted(os.listdir(self.dir))
+        except OSError as err:
+            report["errors"].append(f"cannot list {self.dir}: {err}")
+            return report
+        for name in names:
+            full = os.path.join(self.dir, name)
+            if name.endswith(".zo"):
+                report["scanned"] += 1
+                try:
+                    with open(full, "rb") as f:
+                        self._verify_envelope(f.read())
+                    report["ok"] += 1
+                except Exception as err:
+                    dest = self._quarantine(full)
+                    report["quarantined"].append(
+                        (name, str(err), dest or "<unlinked>")
+                    )
+            elif ".tmp." in name:
+                try:
+                    os.unlink(full)
+                    report["tmp_removed"].append(name)
+                except OSError as err:
+                    report["errors"].append(f"cannot remove {name}: {err}")
+            elif name.endswith(".lock"):
+                if self._lock_is_stale(full):
+                    try:
+                        os.unlink(full)
+                        report["locks_removed"].append(name)
+                    except OSError as err:
+                        report["errors"].append(f"cannot remove {name}: {err}")
+        return report

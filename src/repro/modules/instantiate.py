@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from repro.core.compile import Compiler
 from repro.core.namespace import Namespace
+from repro.guard.budget import current_guard
 from repro.modules.registry import ModuleRegistry
 from repro.observe.recorder import current_recorder
 
@@ -18,14 +19,25 @@ def instantiate_module(registry: ModuleRegistry, path: str, ns: Namespace) -> No
         instantiate_module(registry, req, ns)
     compiler = Compiler(ns)
     rec = current_recorder()
+    guard = current_guard()
     if not rec.enabled:
+        if guard is None:
+            for form in compiled.body.forms:
+                compiler.compile_module_form(form)()
+            return
+        # governed eval loop: a checkpoint between top-level forms bounds
+        # deadline/cancellation latency even for programs that never apply
+        # a closure (straight-line module bodies)
         for form in compiled.body.forms:
+            guard.checkpoint(path)
             compiler.compile_module_form(form)()
         return
     # traced: keep the compile-then-run interleaving, but charge the
     # closure-compilation and execution of each form to separate spans
     with rec.span("instantiate", path):
         for form in compiled.body.forms:
+            if guard is not None:
+                guard.checkpoint(path)
             with rec.span("closure-compile", path):
                 thunk = compiler.compile_module_form(form)
             with rec.span("run", path):

@@ -1063,3 +1063,22 @@ def prim_call_with_error_handlers(preds: Any, handlers: Any, thunk: Any) -> Any:
             if apply_procedure(pred, [error]) is not False:
                 return apply_procedure(handler, [error])
         raise
+
+
+# --- allocation marking (resource governance) ---------------------------------
+
+#: constructors whose call sites the resource governor (repro.guard) charges
+#: against an allocation budget; struct constructors are marked where they
+#: are built (repro.runtime.structs)
+ALLOCATING_PRIMITIVES = frozenset({
+    "cons", "list", "list*", "append", "reverse", "map", "build-list",
+    "vector", "make-vector", "list->vector", "vector->list", "vector-copy",
+    "vector-map", "string-append", "make-string", "string-copy",
+    "list->string", "string->list", "substring", "box", "make-hash",
+})
+
+for _name in ALLOCATING_PRIMITIVES:
+    _prim = PRIMITIVES.get(_name)
+    if _prim is not None:
+        _prim.allocates = True
+del _name, _prim

@@ -55,6 +55,13 @@ class Stats:
     unsafe_ops: int = 0
     contract_checks: int = 0
     expansion_steps: int = 0
+    #: evaluation steps (closure applications) charged by a governed run —
+    #: the run-time mirror of ``expansion_steps`` (see repro.guard); stays 0
+    #: for ungoverned Runtimes, which skip step accounting entirely
+    eval_steps: int = 0
+    #: constructor allocations charged by a governed run with an
+    #: allocation budget
+    eval_allocations: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
     cache_stores: int = 0

@@ -57,7 +57,7 @@ def _register() -> None:
             return isinstance(x, StructInstance) and x.descriptor is descriptor
 
         out: list[Any] = [
-            Primitive(text, construct, field_count, field_count),
+            Primitive(text, construct, field_count, field_count, allocates=True),
             Primitive(f"{text}?", predicate, 1, 1),
         ]
         for index in range(field_count):

@@ -278,9 +278,14 @@ class Procedure:
 
 
 class Primitive(Procedure):
-    """A procedure implemented in Python."""
+    """A procedure implemented in Python.
 
-    __slots__ = ("name", "fn", "arity_min", "arity_max")
+    ``allocates`` marks constructors (pairs, vectors, strings, boxes,
+    hashes, struct instances) so the resource governor (:mod:`repro.guard`)
+    can charge an allocation budget at their call sites.
+    """
+
+    __slots__ = ("name", "fn", "arity_min", "arity_max", "allocates")
 
     def __init__(
         self,
@@ -288,11 +293,14 @@ class Primitive(Procedure):
         fn: Callable[..., Any],
         arity_min: int = 0,
         arity_max: Optional[int] = None,
+        *,
+        allocates: bool = False,
     ) -> None:
         self.name = name
         self.fn = fn
         self.arity_min = arity_min
         self.arity_max = arity_max
+        self.allocates = allocates
 
     def __repr__(self) -> str:
         return f"#<procedure:{self.name}>"

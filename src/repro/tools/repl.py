@@ -21,16 +21,27 @@ import sys
 from typing import Optional
 
 from repro.errors import ReproError
+from repro.guard import Budget
 from repro.reader.reader import Reader
 from repro.tools.runner import Runtime
 
 _META_HELP = """\
 meta-commands:
-  ,help          show this help
-  ,stats         show this session's runtime counters
-  ,stats reset   zero the counters
-  ,trace         show macro steps + coach report for the last input
+  ,help            show this help
+  ,stats           show this session's runtime counters
+  ,stats reset     zero the counters
+  ,trace           show macro steps + coach report for the last input
+  ,budget          show the session's evaluation budget and usage
+  ,budget NAME N   set a limit (steps | seconds | depth | allocations)
+  ,budget NAME off clear a limit
 """
+
+_BUDGET_NAMES = {
+    "steps": "steps",
+    "seconds": "seconds",
+    "depth": "max_depth",
+    "allocations": "allocations",
+}
 
 
 class Repl:
@@ -38,8 +49,10 @@ class Repl:
         # trace="full": the stepper renders each macro step's syntax, which
         # is what ,trace shows. cache=False: every input recompiles the
         # accumulated module, so expansion (the thing being traced) must
-        # actually run.
-        self.runtime = Runtime(trace="full", cache=False)
+        # actually run. budget: a no-limit Budget, so ,stats reports the
+        # evaluation steps each input consumed and ,budget can set limits
+        # (a runaway input then dies with a G-code instead of hanging).
+        self.runtime = Runtime(trace="full", cache=False, budget=Budget())
         self.language = language
         self.forms: list[str] = []
         self._counter = 0
@@ -71,6 +84,10 @@ class Repl:
             return ""
         candidate = self.forms + [self._wrap(text, parsed)]
         source = f"#lang {self.language}\n" + "\n".join(candidate)
+        # the budget is a fresh allowance per input (the session total stays
+        # in stats.eval_steps); without this, one exhausted input would
+        # poison every later one
+        self.runtime.budget.reset()
         self._counter += 1
         path = f"<repl-{self._counter}>"
         tracer = self.runtime.tracer
@@ -111,7 +128,42 @@ class Repl:
             return "\n".join(lines) + "\n"
         if cmd == ",trace":
             return self._trace_report()
+        if cmd == ",budget":
+            return self._budget_command(args)
         return f"unknown meta-command {cmd} (try ,help)\n"
+
+    def _budget_command(self, args: list[str]) -> str:
+        budget = self.runtime.budget
+        if not args:
+            lines = []
+            for label, attr in _BUDGET_NAMES.items():
+                limit = getattr(budget, attr)
+                lines.append(
+                    f"  {label:<12} {'unlimited' if limit is None else limit}"
+                )
+            lines.append(
+                f"  used: {budget.steps_used} steps, "
+                f"{budget.allocs_used} allocations"
+            )
+            return "\n".join(lines) + "\n"
+        if len(args) != 2 or args[0] not in _BUDGET_NAMES:
+            return (
+                "usage: ,budget NAME N  or  ,budget NAME off "
+                "(NAME: steps | seconds | depth | allocations)\n"
+            )
+        name, raw = args
+        attr = _BUDGET_NAMES[name]
+        if raw == "off":
+            budget.configure(**{attr: None})
+            return f"{name}: unlimited\n"
+        try:
+            value = float(raw) if name == "seconds" else int(raw)
+        except ValueError:
+            return f"error: {raw!r} is not a number\n"
+        if value <= 0:
+            return "error: budget limits must be positive\n"
+        budget.configure(**{attr: value})
+        return f"{name}: {value}\n"
 
     def _trace_report(self) -> str:
         from repro.observe.coach import coach_report
@@ -184,22 +236,32 @@ class Repl:
         while True:
             stdout.write("repro> ")
             stdout.flush()
-            line = stdin.readline()
+            try:
+                line = stdin.readline()
+            except KeyboardInterrupt:
+                # ctrl-C at the prompt: just a fresh prompt, not an exit
+                stdout.write("\n")
+                continue
             if not line:
                 stdout.write("\n")
                 return 0
             try:
                 stdout.write(self.eval_input(line))
             except ReproError as error:
-                # reader / expansion / type / contract / runtime errors (and
-                # aggregated CompilationFailed reports, whose message carries
-                # every rendered diagnostic) all land here; the accumulated
-                # module body is unchanged, so the session continues
+                # reader / expansion / type / contract / runtime / budget
+                # errors (and aggregated CompilationFailed reports, whose
+                # message carries every rendered diagnostic) all land here;
+                # the accumulated module body is unchanged, so the session
+                # continues
                 stdout.write(f"error: {error}\n")
             except RecursionError:
                 stdout.write("error: recursion limit exceeded\n")
-            except KeyboardInterrupt:  # pragma: no cover
-                stdout.write("\n")
+            except KeyboardInterrupt:
+                # ctrl-C mid-evaluation: the input is committed to the
+                # accumulated body only after a successful run, and a
+                # killed compilation rolled back transactionally, so the
+                # session continues with state intact
+                stdout.write("\n; interrupted (session state intact)\n")
             except Exception as error:  # never let one input kill the REPL
                 stdout.write(f"error: internal: {type(error).__name__}: {error}\n")
 

@@ -18,6 +18,7 @@ from typing import Any, Iterator, Optional
 from repro.core.namespace import Namespace
 from repro.diagnostics import CompileResult, Diagnostic
 from repro.errors import CompilationFailed, ReproError
+from repro.guard.budget import Budget, CancelToken, resolve_budget, use_guard
 from repro.modules.cache import ENV_CACHE_DIR, ModuleCache, default_cache_dir
 from repro.modules.instantiate import instantiate_module
 from repro.modules.registry import ModuleRegistry
@@ -51,6 +52,18 @@ class Runtime:
     it off even when the environment variable is set. The ``repro`` CLI
     enables the cache by default, mirroring Racket's ``compiled/``.
 
+    ``budget`` attaches a resource governor (:mod:`repro.guard`): ``None``
+    (default) runs ungoverned at zero overhead; ``True`` attaches a
+    :class:`~repro.guard.Budget` with no limits (step counting plus
+    cancellation); an ``int`` is a step budget; a ``dict`` passes keyword
+    arguments through (``steps``, ``seconds``, ``max_depth``,
+    ``allocations``); a :class:`~repro.guard.Budget` instance is used as
+    given (shareable across Runtimes for one joint allowance). Exhaustion
+    raises :class:`~repro.errors.BudgetExhausted` with a stable ``G`` code;
+    ``rt.cancel()`` (or the token at ``rt.cancel_token``, from any thread)
+    aborts the in-flight evaluation cooperatively with
+    :class:`~repro.errors.EvaluationCancelled`.
+
     ``trace`` selects the observability recorder (:mod:`repro.observe`):
     ``None`` (default) adopts the process-global tracer if one is installed,
     otherwise no tracing; ``True`` attaches a fresh :class:`Tracer` (phase
@@ -72,11 +85,13 @@ class Runtime:
         cache: Optional[bool] = None,
         cache_dir: Optional[str] = None,
         trace: Any = None,
+        budget: Any = None,
     ) -> None:
         self.registry = ModuleRegistry()
         if expansion_fuel is not None:
             self.registry.expansion_fuel = expansion_fuel
         self.stats = Stats()
+        self.budget: Optional[Budget] = resolve_budget(budget)
         # module-level STATS reads now track this (newest) Runtime
         set_ambient_stats(self.stats)
         self.tracer: Optional[Recorder] = resolve_trace(trace)
@@ -135,13 +150,53 @@ class Runtime:
 
     @contextmanager
     def _observed(self) -> Iterator[None]:
-        """Activate this Runtime's stats and recorder for one operation."""
+        """Activate this Runtime's stats, recorder, and budget for one
+        operation; governed work is mirrored into ``stats.eval_steps`` /
+        ``stats.eval_allocations`` even when the run is killed."""
         with use_stats(self.stats):
             if self.tracer is not None:
                 with use_recorder(self.tracer):
-                    yield
+                    with self._governed():
+                        yield
             else:
+                with self._governed():
+                    yield
+
+    @contextmanager
+    def _governed(self) -> Iterator[None]:
+        budget = self.budget
+        if budget is None:
+            yield
+            return
+        steps_before = budget.steps_used
+        allocs_before = budget.allocs_used
+        try:
+            with use_guard(budget):
                 yield
+        finally:
+            self.stats.eval_steps += budget.steps_used - steps_before
+            self.stats.eval_allocations += budget.allocs_used - allocs_before
+
+    # -- cancellation ---------------------------------------------------------
+
+    @property
+    def cancel_token(self) -> Optional[CancelToken]:
+        """The cooperative cancellation token (None when ungoverned)."""
+        return self.budget.cancel if self.budget is not None else None
+
+    def cancel(self, reason: Optional[str] = None) -> None:
+        """Abort the in-flight evaluation (callable from any thread).
+
+        The governed evaluator notices at its next checkpoint and raises
+        :class:`~repro.errors.EvaluationCancelled`. Requires a budget —
+        pass ``budget=True`` for a no-limit, cancellable Runtime.
+        """
+        if self.budget is None:
+            raise ValueError(
+                "Runtime has no budget; pass budget=True (or limits) to "
+                "make evaluations cancellable"
+            )
+        self.budget.cancel.cancel(reason)
 
     # -- module registration -------------------------------------------------
 
@@ -218,6 +273,7 @@ usage: python -m repro [options] <file.rkt>
        python -m repro trace <file.rkt|script.py> [--format chrome|summary|jsonl] [--out FILE]
        python -m repro cache stats
        python -m repro cache clear
+       python -m repro cache doctor
 
 options:
   --cache              use the compiled-artifact cache (default)
@@ -225,6 +281,9 @@ options:
   --cache-dir DIR      cache directory (default .repro-cache/ or $REPRO_CACHE_DIR)
   --log-optimizations  report fired + near-miss type specializations on
                        stderr after the run (implies --no-cache)
+  --steps N            evaluation step budget (G001 diagnostic on exhaustion)
+  --time-limit SECS    wall-clock evaluation budget (G002 on exhaustion)
+  --max-depth N        non-tail recursion depth budget (G003 on exhaustion)
 
 trace writes the trace to stdout (or --out FILE) and the program's own
 output to stderr. Tracing a .py driver script installs a process-global
@@ -250,6 +309,26 @@ def _cache_command(args: list[str], cache_dir: Optional[str]) -> int:
         for name, size in entries:
             print(f"  {name}  {size} bytes")
         return 0
+    if sub == "doctor":
+        report = cache.doctor()
+        print(f"cache directory: {report['dir']}")
+        print(f"artifacts scanned: {report['scanned']} ({report['ok']} ok)")
+        for name, why, dest in report["quarantined"]:
+            print(f"  quarantined {name}: {why} -> {dest}")
+        for name in report["tmp_removed"]:
+            print(f"  removed torn-write debris {name}")
+        for name in report["locks_removed"]:
+            print(f"  removed stale lock {name}")
+        for problem in report["errors"]:
+            print(f"  error: {problem}")
+        if not (
+            report["quarantined"]
+            or report["tmp_removed"]
+            or report["locks_removed"]
+            or report["errors"]
+        ):
+            print("no problems found")
+        return 1 if report["errors"] else 0
     print(f"error: unknown cache command: {sub}", file=sys.stderr)
     return 2
 
@@ -358,6 +437,24 @@ def main(argv: Optional[list[str]] = None) -> int:
     use_cache: Optional[bool] = True  # the CLI mirrors Racket's compiled/
     cache_dir: Optional[str] = None
     log_optimizations = False
+    budget_limits: dict[str, Any] = {}
+
+    def _budget_value(name: str, raw: str, convert: Any) -> bool:
+        try:
+            value = convert(raw)
+        except ValueError:
+            print(f"error: {name} requires a number, got {raw!r}", file=sys.stderr)
+            return False
+        if value <= 0:
+            print(f"error: {name} must be positive", file=sys.stderr)
+            return False
+        budget_limits[
+            {"--steps": "steps", "--time-limit": "seconds",
+             "--max-depth": "max_depth"}[name]
+        ] = value
+        return True
+
+    _BUDGET_FLAGS = {"--steps": int, "--time-limit": float, "--max-depth": int}
     rest: list[str] = []
     i = 0
     while i < len(args):
@@ -376,6 +473,17 @@ def main(argv: Optional[list[str]] = None) -> int:
             cache_dir = arg[len("--cache-dir="):]
         elif arg == "--log-optimizations":
             log_optimizations = True
+        elif arg in _BUDGET_FLAGS:
+            if i + 1 >= len(args):
+                print(f"error: {arg} requires a value", file=sys.stderr)
+                return 2
+            i += 1
+            if not _budget_value(arg, args[i], _BUDGET_FLAGS[arg]):
+                return 2
+        elif any(arg.startswith(f"{flag}=") for flag in _BUDGET_FLAGS):
+            flag, _, raw = arg.partition("=")
+            if not _budget_value(flag, raw, _BUDGET_FLAGS[flag]):
+                return 2
         else:
             rest.append(arg)
         i += 1
@@ -395,7 +503,12 @@ def main(argv: Optional[list[str]] = None) -> int:
         # a cache hit would skip the optimizer — nothing for the coach to see
         tracer = Tracer()
         use_cache = False
-    rt = Runtime(cache=use_cache, cache_dir=cache_dir, trace=tracer)
+    rt = Runtime(
+        cache=use_cache,
+        cache_dir=cache_dir,
+        trace=tracer,
+        budget=budget_limits or None,
+    )
     try:
         path = rt.register_file(rest[0])
         rt.instantiate(path)

@@ -179,8 +179,10 @@ class TestDegradation:
             f.write(b"not a pickle")
         with cached_runtime(tmp_path, m="#lang racket\n(displayln 7)\n") as rt2:
             assert rt2.run("m") == "7\n"
-            assert any(d.code == "C101" for d in rt2.cache.diagnostics)
+            # corrupt artifacts are quarantined (C104), not just unlinked
+            assert any(d.code == "C104" for d in rt2.cache.diagnostics)
             assert rt2.stats.cache_stores == 1  # replaced the corrupt file
+            assert os.listdir(os.path.join(rt2.cache.dir, "quarantine"))
         with cached_runtime(tmp_path, m="#lang racket\n(displayln 7)\n") as rt3:
             assert rt3.run("m") == "7\n"  # the replacement is valid again
             assert rt3.stats.cache_hits == 1
@@ -194,7 +196,7 @@ class TestDegradation:
             pickle.dump({"format": 999}, f)
         with cached_runtime(tmp_path, m="#lang racket\n(displayln 7)\n") as rt2:
             assert rt2.run("m") == "7\n"
-            assert any(d.code == "C101" for d in rt2.cache.diagnostics)
+            assert any(d.code == "C104" for d in rt2.cache.diagnostics)
 
     def test_cache_disabled_by_default(self, tmp_path, monkeypatch):
         monkeypatch.chdir(tmp_path)
