@@ -1,0 +1,126 @@
+"""Compare the execution backends: interp vs pyc wall-clock speedups.
+
+Usage::
+
+    python benchmarks/bench_backend.py                 # fig6, 3 repeats
+    python benchmarks/bench_backend.py fig6 fig8 --repeats 5
+    python benchmarks/bench_backend.py --json BENCH_backend.json
+
+Runs every program of the selected figures under the ``untyped``
+configuration on both backends (same compiled module AST, different final
+pipeline stage; see DESIGN.md §9), prints a per-program speedup table with
+the geometric mean, and with ``--json`` writes ``BENCH_backend.json``::
+
+    {"schema": "repro-bench-backend/1",
+     "figures": {"fig6": {"programs": {"tak": {"interp_seconds": ...,
+                                               "pyc_seconds": ...,
+                                               "speedup": ...}, ...},
+                          "geomean_speedup": ...}},
+     "geomean_speedup": ...}
+
+Speedup is interp_seconds / pyc_seconds — larger means the pyc backend is
+faster. Both measurements time ``Runtime.instantiate`` in a fresh
+namespace with compilation (and pyc codegen) already done, so the numbers
+isolate the run phase of each backend.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from typing import Iterable
+
+if __package__ in (None, ""):
+    # allow `python benchmarks/bench_backend.py`
+    import os
+
+    sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from benchmarks.harness import Harness
+from benchmarks.programs import ALL_PROGRAMS
+
+BACKENDS = ("interp", "pyc")
+
+
+def geomean(values: list[float]) -> float:
+    return math.exp(sum(map(math.log, values)) / len(values)) if values else 0.0
+
+
+def run_figure(figure: str, repeats: int, config: str) -> dict:
+    programs = [p for p in ALL_PROGRAMS if p.figure == figure]
+    records: dict[str, dict] = {}
+    for program in programs:
+        seconds: dict[str, float] = {}
+        for backend in BACKENDS:
+            harness = Harness(backend=backend)
+            result = harness.run(program, config, repeats=repeats)
+            seconds[backend] = result.seconds
+            print(
+                f"  ran {program.name:>14} [{backend:<6}] {result.seconds:8.3f}s",
+                file=sys.stderr,
+            )
+        records[program.name] = {
+            "interp_seconds": seconds["interp"],
+            "pyc_seconds": seconds["pyc"],
+            "speedup": seconds["interp"] / seconds["pyc"],
+        }
+    return {
+        "programs": records,
+        "geomean_speedup": geomean([r["speedup"] for r in records.values()]),
+    }
+
+
+def main(argv: Iterable[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "figures", nargs="*", default=[], help="fig6 fig7 fig8 fig9 (default: fig6)"
+    )
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="runs per cell (keep best)")
+    parser.add_argument("--config", default="untyped",
+                        help="benchmark configuration to time (default: untyped)")
+    parser.add_argument(
+        "--json",
+        nargs="?",
+        const="BENCH_backend.json",
+        default=None,
+        metavar="FILE",
+        help="write the speedup summary as JSON (default file: BENCH_backend.json)",
+    )
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    figures = args.figures or ["fig6"]
+
+    payload: dict = {
+        "schema": "repro-bench-backend/1",
+        "repeats": args.repeats,
+        "config": args.config,
+        "figures": {},
+    }
+    all_speedups: list[float] = []
+    for figure in figures:
+        print(f"\n{figure}: interp vs pyc [{args.config}]")
+        fig = run_figure(figure, args.repeats, args.config)
+        payload["figures"][figure] = fig
+        header = f"{'benchmark':<14}{'interp':>12}{'pyc':>12}{'speedup':>10}"
+        print(header)
+        print("-" * len(header))
+        for name, rec in fig["programs"].items():
+            all_speedups.append(rec["speedup"])
+            print(
+                f"{name:<14}{rec['interp_seconds']*1000:>10.1f}ms"
+                f"{rec['pyc_seconds']*1000:>10.1f}ms{rec['speedup']:>9.2f}x"
+            )
+        print(f"{'geomean':<14}{'':>12}{'':>12}{fig['geomean_speedup']:>9.2f}x")
+    payload["geomean_speedup"] = geomean(all_speedups)
+    if args.json is not None:
+        with open(args.json, "w", encoding="utf-8") as f:
+            json.dump(payload, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"\nwrote {args.json}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -79,14 +79,19 @@ class Harness:
     exclusive per-phase timings (used by ``run_figures.py --json``). The
     default is off so timed runs carry no tracing overhead — and stays off
     even under a process-global tracer, keeping benchmarks hermetic.
+
+    ``backend`` selects the execution backend each fresh Runtime uses
+    (``"interp"`` or ``"pyc"``, see DESIGN.md §9).
     """
 
-    def __init__(self, trace: bool = False) -> None:
+    def __init__(self, trace: bool = False, backend: str = "interp") -> None:
         self._counter = 0
         self.trace = trace
+        self.backend = backend
 
     def _fresh_runtime(self) -> Runtime:
-        return Runtime(trace=True if self.trace else False)
+        return Runtime(trace=True if self.trace else False,
+                       backend=self.backend)
 
     def prepare(
         self, program: BenchmarkProgram, config: str, rules: Optional[set[str]] = None
@@ -99,8 +104,10 @@ class Harness:
         self._counter += 1
         path = f"<bench-{program.name}-{config.replace('/', '-')}-{self._counter}>"
 
+        inline = config != "baseline"
         saved_opt = dict(OPTIMIZER_CONFIG)
         saved_rules = set(OPTIMIZER_CONFIG["rules"])
+        saved_inline = COMPILE_CONFIG["inline_primitives"]
         try:
             if config in ("untyped", "baseline"):
                 source = "#lang racket\n" + program.untyped
@@ -108,17 +115,20 @@ class Harness:
                 OPTIMIZER_CONFIG["optimize"] = config == "typed/opt"
                 OPTIMIZER_CONFIG["rules"] = set(rules if rules is not None else ALL_RULES)
                 source = "#lang typed\n" + program.typed
+            # the pyc backend bakes the inlining decision in at codegen
+            # (which happens during compile), so the flag must already be
+            # set here, not only around the timed run
+            COMPILE_CONFIG["inline_primitives"] = inline
             rt.register_module(path, source)
             rt.compile(path)
         finally:
+            COMPILE_CONFIG["inline_primitives"] = saved_inline
             OPTIMIZER_CONFIG.update(saved_opt)
             OPTIMIZER_CONFIG["rules"] = saved_rules
         compile_phases = (
             _phase_slice(rt.tracer, 0) if rt.tracer is not None else {}
         )
         compile_steps = rt.stats.expansion_steps
-
-        inline = config != "baseline"
 
         def run_once() -> BenchResult:
             saved_inline = COMPILE_CONFIG["inline_primitives"]

@@ -92,6 +92,12 @@ def main(argv: Iterable[str] | None = None) -> int:
         "--counters", action="store_true", help="also print the dispatch-counter tables"
     )
     parser.add_argument(
+        "--backend",
+        choices=("interp", "pyc"),
+        default="interp",
+        help="execution backend the timed runs use (default: interp)",
+    )
+    parser.add_argument(
         "--json",
         nargs="?",
         const="BENCH_figures.json",
@@ -105,10 +111,11 @@ def main(argv: Iterable[str] | None = None) -> int:
 
     # the phase profiler rides along only when its output is wanted: traced
     # runs pay a (small) span overhead per module form
-    harness = Harness(trace=args.json is not None)
+    harness = Harness(trace=args.json is not None, backend=args.backend)
     payload: dict = {
         "schema": "repro-bench/1",
         "repeats": args.repeats,
+        "backend": args.backend,
         "figures": {},
     }
     for figure in figures:

@@ -55,7 +55,7 @@ class CEnv:
 
 
 class Compiler:
-    def __init__(self, ns: Namespace) -> None:
+    def __init__(self, ns: Namespace, analysis: Any = None) -> None:
         self.ns = ns
         # Compilation happens at instantiation time, under the owning
         # Runtime's guard (if any) — so governance checks are *compiled in*
@@ -64,6 +64,10 @@ class Compiler:
         from repro.guard.budget import current_guard
 
         self.guard = current_guard()
+        #: optional :class:`repro.core.lower.ModuleAnalysis` — when present,
+        #: reads of bindings the lower pass proves initialized (parameters,
+        #: non-recursive let ids) skip the UNDEFINED check
+        self.analysis = analysis
 
     # -- expressions ------------------------------------------------------
 
@@ -102,6 +106,22 @@ class Compiler:
             raise RuntimeReproError(f"compile: local {node.name} not in scope")
         depth, idx = loc
         name = node.name
+        if (
+            self.analysis is not None
+            and node.binding.uid in self.analysis.initialized_uids
+        ):
+            if depth == 0:
+                return lambda env: env[0][idx]
+            if depth == 1:
+                return lambda env: env[1][0][idx]
+
+            def ref_fast(env: Any) -> Any:
+                e = env
+                for _ in range(depth):
+                    e = e[1]
+                return e[0][idx]
+
+            return ref_fast
         if depth == 0:
             def ref0(env: Any) -> Any:
                 value = env[0][idx]

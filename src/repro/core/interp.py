@@ -26,6 +26,7 @@ from repro.runtime.values import (
     ContractedProcedure,
     Primitive,
     Procedure,
+    PyClosure,
 )
 
 
@@ -99,9 +100,17 @@ def apply_procedure(fn: Any, args: list[Any]) -> Any:
     guard = current_guard()
     if guard is None:
         while True:
-            if type(fn) is Closure:
+            t = type(fn)
+            if t is Closure:
                 env = (_make_frame(fn, args), fn.env)
                 result = fn.body(env)
+                if type(result) is TailCall:
+                    fn = result.fn
+                    args = result.args
+                    continue
+                return result
+            if t is PyClosure:
+                result = fn.fn(*_make_frame(fn, args))
                 if type(result) is TailCall:
                     fn = result.fn
                     args = result.args
@@ -111,14 +120,20 @@ def apply_procedure(fn: Any, args: list[Any]) -> Any:
     max_depth = guard.max_depth
     alloc = guard.allocations is not None
     while True:
-        if type(fn) is Closure:
+        t = type(fn)
+        if t is Closure or t is PyClosure:
             steps = guard.steps_used + 1
             guard.steps_used = steps
             if steps >= guard.next_check:
                 guard.checkpoint(fn.name)
-            env = (_make_frame(fn, args), fn.env)
+            if t is Closure:
+                env = (_make_frame(fn, args), fn.env)
+                body = fn.body
+            else:
+                env = _make_frame(fn, args)
+                body = None
             if max_depth is None:
-                result = fn.body(env)
+                result = fn.fn(*env) if body is None else body(env)
             else:
                 # tail bounces balance the +1/-1 within this loop, so
                 # `depth` tracks true (non-tail) nesting
@@ -132,7 +147,7 @@ def apply_procedure(fn: Any, args: list[Any]) -> Any:
                         fn.name,
                     )
                 try:
-                    result = fn.body(env)
+                    result = fn.fn(*env) if body is None else body(env)
                 finally:
                     guard.depth = depth - 1
             if type(result) is TailCall:
@@ -147,6 +162,7 @@ def apply_procedure(fn: Any, args: list[Any]) -> Any:
 
 def tail_apply(fn: Any, args: list[Any]) -> Any:
     """Apply in tail position: defer closures to the caller's trampoline."""
-    if type(fn) is Closure:
+    t = type(fn)
+    if t is Closure or t is PyClosure:
         return TailCall(fn, args)
     return apply_procedure(fn, args)

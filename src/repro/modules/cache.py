@@ -88,13 +88,22 @@ if TYPE_CHECKING:
     from repro.modules.registry import CompiledModule, ModuleRegistry
 
 #: bump when the artifact layout (or anything it pickles) changes shape;
-#: part of every content hash, so old artifacts simply stop matching
-FORMAT_VERSION = 2
+#: part of every content hash, so old artifacts simply stop matching.
+#: v3: modules may carry a ``pyc`` code-object unit (marshalled CPython
+#: bytecode emitted by the pyc backend) alongside the core AST
+FORMAT_VERSION = 3
 
 #: artifact envelope: MAGIC + SHA-256(payload) + payload. The digest makes
 #: corruption (truncation, bit-flips) a *detected* condition rather than a
 #: probabilistic unpickling failure.
-MAGIC = b"REPROZO\x02"
+MAGIC = b"REPROZO\x03"
+
+#: envelope magics of earlier format versions. Artifacts carrying one are
+#: *old*, not corrupt: their content-hashed filenames fold the old version
+#: in, so loads never open them — ``doctor`` reports them instead of
+#: quarantining (deleting a postmortem-worthy file for merely being stale
+#: would be wrong, and quarantine is reserved for detected corruption)
+HISTORIC_MAGICS = (b"REPROZO\x02",)
 _DIGEST_LEN = 32
 
 #: subdirectory that corrupt artifacts are moved into (never deleted, so a
@@ -275,6 +284,19 @@ class ModuleCache:
         if hashlib.sha256(payload).digest() != digest:
             raise ValueError("artifact checksum mismatch")
         return payload
+
+    @staticmethod
+    def _historic_version(data: bytes) -> Optional[str]:
+        """If ``data`` is an intact artifact from an earlier cache format,
+        return that format's magic (repr'd for reporting); else None."""
+        for magic in HISTORIC_MAGICS:
+            header = len(magic) + _DIGEST_LEN
+            if len(data) < header or data[: len(magic)] != magic:
+                continue
+            digest = data[len(magic): header]
+            if hashlib.sha256(data[header:]).digest() == digest:
+                return magic.decode("ascii", "backslashreplace")
+        return None
 
     def _quarantine(self, file: str) -> Optional[str]:
         """Move a bad artifact into the quarantine subdirectory.
@@ -569,6 +591,9 @@ class ModuleCache:
 
         - validates every artifact's envelope (magic + checksum);
           invalid ones are quarantined;
+        - artifacts from an earlier ``FORMAT_VERSION`` (recognizable by a
+          historic magic with an intact checksum) are **reported**, not
+          quarantined — they are stale, not corrupt;
         - removes torn-write debris (``*.tmp.*`` files left by a crash
           between write and rename);
         - removes stale lock files (no live holder).
@@ -579,6 +604,7 @@ class ModuleCache:
             "dir": self.dir,
             "scanned": 0,
             "ok": 0,
+            "old_version": [],
             "quarantined": [],
             "tmp_removed": [],
             "locks_removed": [],
@@ -593,11 +619,17 @@ class ModuleCache:
             full = os.path.join(self.dir, name)
             if name.endswith(".zo"):
                 report["scanned"] += 1
+                data = b""
                 try:
                     with open(full, "rb") as f:
-                        self._verify_envelope(f.read())
+                        data = f.read()
+                    self._verify_envelope(data)
                     report["ok"] += 1
                 except Exception as err:
+                    old = self._historic_version(data)
+                    if old is not None:
+                        report["old_version"].append((name, old))
+                        continue
                     dest = self._quarantine(full)
                     report["quarantined"].append(
                         (name, str(err), dest or "<unlinked>")

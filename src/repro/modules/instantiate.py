@@ -1,8 +1,15 @@
-"""Module instantiation: run a compiled module's phase-0 body in a namespace."""
+"""Module instantiation: run a compiled module's phase-0 body in a namespace.
+
+The actual execution strategy lives in :mod:`repro.core.backend`: the
+registry's ``backend`` attribute selects the closure-compiling tree walk
+(``interp``) or the CPython code-object backend (``pyc``). Both honor the
+same structure — requires first, idempotence per namespace, a guard
+checkpoint between top-level forms, and per-phase observe spans.
+"""
 
 from __future__ import annotations
 
-from repro.core.compile import Compiler
+from repro.core.backend import make_backend
 from repro.core.namespace import Namespace
 from repro.guard.budget import current_guard
 from repro.modules.registry import ModuleRegistry
@@ -17,28 +24,5 @@ def instantiate_module(registry: ModuleRegistry, path: str, ns: Namespace) -> No
     ns.instantiated[path] = True
     for req in compiled.requires:
         instantiate_module(registry, req, ns)
-    compiler = Compiler(ns)
-    rec = current_recorder()
-    guard = current_guard()
-    if not rec.enabled:
-        if guard is None:
-            for form in compiled.body.forms:
-                compiler.compile_module_form(form)()
-            return
-        # governed eval loop: a checkpoint between top-level forms bounds
-        # deadline/cancellation latency even for programs that never apply
-        # a closure (straight-line module bodies)
-        for form in compiled.body.forms:
-            guard.checkpoint(path)
-            compiler.compile_module_form(form)()
-        return
-    # traced: keep the compile-then-run interleaving, but charge the
-    # closure-compilation and execution of each form to separate spans
-    with rec.span("instantiate", path):
-        for form in compiled.body.forms:
-            if guard is not None:
-                guard.checkpoint(path)
-            with rec.span("closure-compile", path):
-                thunk = compiler.compile_module_form(form)
-            with rec.span("run", path):
-                thunk()
+    backend = make_backend(getattr(registry, "backend", "interp"), registry)
+    backend.instantiate(compiled, ns, current_recorder(), current_guard())

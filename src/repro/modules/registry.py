@@ -131,6 +131,23 @@ class CompiledModule:
         #: compiled artifact (clients resolve the module's macro templates
         #: through these) and removed when the module is evicted.
         self.table_fragment: list = table_fragment if table_fragment is not None else []
+        #: the pyc backend's code-object unit (:class:`repro.core.pyc.PycUnit`),
+        #: generated on demand and persisted with the artifact; None until the
+        #: module is compiled under (or upgraded for) the pyc backend
+        self.pyc: Optional[Any] = None
+
+    def __getstate__(self) -> dict:
+        # the lowering analysis memo (repro.core.lower) keys lambdas by
+        # id(node), which is meaningless in another process — recompute
+        # after unpickling instead of persisting stale keys
+        state = dict(self.__dict__)
+        state.pop("_analysis", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        # artifacts from before the pyc backend lack the attribute
+        self.__dict__.setdefault("pyc", None)
 
     def __repr__(self) -> str:
         return f"#<compiled-module {self.path}>"
@@ -239,6 +256,9 @@ class ModuleRegistry:
         self.py_values: dict[Any, Any] = {}
         #: per-compilation macro-expansion step budget (None = default)
         self.expansion_fuel: Optional[int] = None
+        #: which backend instantiation uses: "interp" (closure-compiling
+        #: tree walk) or "pyc" (CPython code objects); see repro.core.backend
+        self.backend: str = "interp"
         #: the persistent compiled-artifact cache, or None (disabled)
         self.cache: Optional[Any] = None
         #: content hash of each registered module's source text
@@ -396,11 +416,19 @@ class ModuleRegistry:
                 self._full_keys[path] = self._compute_full_key(
                     path, lang_name, compiled.requires
                 )
+                if self.backend == "pyc":
+                    # generate before the store so the artifact carries the
+                    # marshalled code objects and warm starts skip codegen
+                    self.ensure_pyc_unit(compiled, store=False)
                 if self.cache is not None:
                     with rec.span("cache", f"store {path}"):
                         self.cache.store(
                             self, path, lang_name, compiled, self._full_keys[path]
                         )
+            elif self.backend == "pyc":
+                # cache hit from an interp-only (or other-Python) session:
+                # upgrade the artifact in place
+                self.ensure_pyc_unit(compiled)
         except BaseException:
             if transactional:
                 TABLE.restore(table_snapshot)
@@ -412,6 +440,40 @@ class ModuleRegistry:
             self._compiling.pop()
         self.compiled[path] = compiled
         return compiled
+
+    def ensure_pyc_unit(self, compiled: "CompiledModule", *, store: bool = True):
+        """The module's pyc code-object unit, generating it when missing or
+        generated under a different CPython bytecode format.
+
+        With ``store`` (the default), a freshly generated unit is persisted
+        by re-storing the module's artifact, so the *next* process's warm
+        start loads marshalled code objects and performs zero codegen.
+        """
+        from repro.core.compile import COMPILE_CONFIG
+        from repro.core.pyc import PY_TAG, codegen_module
+
+        unit = compiled.pyc
+        if (
+            unit is not None
+            and unit.py_tag == PY_TAG
+            and getattr(unit, "inline", None)
+            == bool(COMPILE_CONFIG["inline_primitives"])
+        ):
+            return unit
+        from repro.observe.recorder import current_recorder
+
+        rec = current_recorder()
+        with rec.span("pyc-codegen", compiled.path):
+            unit = codegen_module(compiled)
+        compiled.pyc = unit
+        if store and self.cache is not None:
+            full_key = self._full_keys.get(compiled.path)
+            if full_key is not None:
+                with rec.span("cache", f"store {compiled.path}"):
+                    self.cache.store(
+                        self, compiled.path, compiled.language, compiled, full_key
+                    )
+        return unit
 
     # -- content keys (cache invalidation) -----------------------------------
 

@@ -67,7 +67,8 @@ def to_jsonl(tracer: Tracer) -> str:
 
 _PHASE_ORDER = (
     "read", "compile", "expand", "parse", "typecheck", "optimize",
-    "cache", "closure-compile", "run", "instantiate",
+    "cache", "closure-compile", "pyc-codegen", "pyc-link", "run",
+    "instantiate",
 )
 
 

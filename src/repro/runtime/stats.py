@@ -66,6 +66,11 @@ class Stats:
     cache_misses: int = 0
     cache_stores: int = 0
     cache_invalidations: int = 0
+    #: pyc-backend code generations (core AST -> CPython code object); a
+    #: warm-cache run that loads a marshalled unit performs zero of these
+    pyc_codegens: int = 0
+    #: pyc-backend unit links (cells/prims resolved, code exec'd)
+    pyc_links: int = 0
     #: expansion_steps attributed per macro name
     expansion_by_macro: dict[str, int] = field(default_factory=dict)
 

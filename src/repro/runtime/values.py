@@ -333,6 +333,31 @@ class Closure(Procedure):
         return f"#<procedure:{self.name}>"
 
 
+class PyClosure(Procedure):
+    """A procedure compiled to a real Python function by the ``pyc`` backend.
+
+    ``fn`` takes exactly ``params`` positional arguments (plus, when
+    ``rest`` is true, one final argument holding the already-packed rest
+    list); the trampoline in :mod:`repro.core.interp` checks arity and
+    packs rest arguments, exactly as it does for interp :class:`Closure`
+    frames, so the two procedure kinds interoperate freely (either may
+    tail-call or pass the other around).
+    """
+
+    __slots__ = ("name", "params", "rest", "fn")
+
+    def __init__(
+        self, name: str, params: int, rest: bool, fn: Callable[..., Any]
+    ) -> None:
+        self.name = name
+        self.params = params
+        self.rest = rest
+        self.fn = fn
+
+    def __repr__(self) -> str:
+        return f"#<procedure:{self.name}>"
+
+
 class ContractedProcedure(Procedure):
     """A procedure wrapped in a higher-order contract (see repro.contracts)."""
 

@@ -28,13 +28,22 @@ from repro.tools.runner import Runtime
 _META_HELP = """\
 meta-commands:
   ,help            show this help
-  ,stats           show this session's runtime counters
+  ,stats           show this session's runtime counters and phase timings
   ,stats reset     zero the counters
   ,trace           show macro steps + coach report for the last input
   ,budget          show the session's evaluation budget and usage
   ,budget NAME N   set a limit (steps | seconds | depth | allocations)
   ,budget NAME off clear a limit
+  ,backend         show the active execution backend
+  ,backend NAME    switch backend (interp | pyc); next input runs under it
 """
+
+#: observe phases attributed to each backend's final pipeline stage; the
+#: shared phases (read/expand/typecheck/...) belong to both
+_BACKEND_PHASES = {
+    "interp": ("closure-compile",),
+    "pyc": ("pyc-codegen", "pyc-link"),
+}
 
 _BUDGET_NAMES = {
     "steps": "steps",
@@ -45,14 +54,16 @@ _BUDGET_NAMES = {
 
 
 class Repl:
-    def __init__(self, language: str = "racket") -> None:
+    def __init__(self, language: str = "racket",
+                 backend: Optional[str] = None) -> None:
         # trace="full": the stepper renders each macro step's syntax, which
         # is what ,trace shows. cache=False: every input recompiles the
         # accumulated module, so expansion (the thing being traced) must
         # actually run. budget: a no-limit Budget, so ,stats reports the
         # evaluation steps each input consumed and ,budget can set limits
         # (a runaway input then dies with a G-code instead of hanging).
-        self.runtime = Runtime(trace="full", cache=False, budget=Budget())
+        self.runtime = Runtime(trace="full", cache=False, budget=Budget(),
+                               backend=backend)
         self.language = language
         self.forms: list[str] = []
         self._counter = 0
@@ -125,12 +136,56 @@ class Repl:
             if top:
                 lines.append("  expansion steps by macro:")
                 lines.extend(f"    {name:<20} {count}" for name, count in top)
+            lines.extend(self._phase_lines())
             return "\n".join(lines) + "\n"
         if cmd == ",trace":
             return self._trace_report()
         if cmd == ",budget":
             return self._budget_command(args)
+        if cmd == ",backend":
+            return self._backend_command(args)
         return f"unknown meta-command {cmd} (try ,help)\n"
+
+    def _phase_lines(self) -> list[str]:
+        """Session time by observe phase, the active backend's codegen
+        phases flagged (interp: closure-compile; pyc: pyc-codegen and
+        pyc-link)."""
+        from repro.observe.profiler import phase_totals
+
+        totals = phase_totals(self.runtime.tracer)
+        if not totals:
+            return []
+        active = self.runtime.registry.backend
+        own = set(_BACKEND_PHASES.get(active, ()))
+        lines = [f"  time by phase (backend: {active}):"]
+        for phase, seconds in sorted(
+            totals.items(), key=lambda kv: -kv[1]
+        ):
+            marker = "  *" if phase in own else "   "
+            lines.append(f"  {marker} {phase:<18} {seconds * 1000:9.1f} ms")
+        if own & set(totals):
+            lines.append(f"    (* = {active} backend's own phases)")
+        return lines
+
+    def _backend_command(self, args: list[str]) -> str:
+        from repro.core.backend import BACKENDS
+
+        registry = self.runtime.registry
+        if not args:
+            return f"backend: {registry.backend}\n"
+        if len(args) != 1 or args[0] not in BACKENDS:
+            return f"usage: ,backend NAME (NAME: {' | '.join(BACKENDS)})\n"
+        if args[0] == registry.backend:
+            return f"backend: {registry.backend} (unchanged)\n"
+        registry.backend = args[0]
+        # nothing else to flush: every input re-instantiates the
+        # accumulated module in a fresh Namespace, and the compiled module
+        # carries both representations (the pyc unit is generated on
+        # demand and cached alongside the core AST)
+        return (
+            f"backend: {registry.backend} "
+            f"(next input runs in a fresh namespace under it)\n"
+        )
 
     def _budget_command(self, args: list[str]) -> str:
         budget = self.runtime.budget
@@ -268,5 +323,13 @@ class Repl:
 
 def main(argv: Optional[list[str]] = None) -> int:
     args = argv if argv is not None else sys.argv[1:]
+    backend = None
+    if "--backend" in args:
+        i = args.index("--backend")
+        if i + 1 >= len(args):
+            sys.stderr.write("error: --backend needs a value\n")
+            return 2
+        backend = args[i + 1]
+        args = args[:i] + args[i + 2:]
     language = args[0] if args else "racket"
-    return Repl(language).run()
+    return Repl(language, backend=backend).run()

@@ -35,6 +35,10 @@ from repro.runtime.stats import Stats, set_ambient_stats, use_stats
 
 _ANON = itertools.count()
 
+#: environment variable supplying the default Runtime backend ("interp" or
+#: "pyc"); the explicit ``Runtime(backend=...)`` argument wins over it
+ENV_BACKEND = "REPRO_BACKEND"
+
 
 class Runtime:
     """A registry of languages and modules plus a runtime namespace factory.
@@ -72,6 +76,14 @@ class Runtime:
     mode); ``False`` forces tracing off; a :class:`Recorder` instance is
     used as given. The attached recorder is ``rt.tracer``.
 
+    ``backend`` selects how module bodies execute (see
+    :mod:`repro.core.backend`): ``"interp"`` (default) walks closure-compiled
+    trees; ``"pyc"`` lowers the core AST to real CPython code objects
+    (marshalled into the ``.zo`` artifact, so warm starts skip codegen).
+    Defaults to ``$REPRO_BACKEND`` when set. Both backends share the
+    expander, guard budgets, contracts, and observe bus, and produce
+    identical values, output, and diagnostics.
+
     Each Runtime owns its instrumentation counters (``rt.stats``) and its
     slice of the global binding table; ``close()`` (or garbage collection,
     or use as a context manager) reclaims the table entries so repeated
@@ -86,8 +98,14 @@ class Runtime:
         cache_dir: Optional[str] = None,
         trace: Any = None,
         budget: Any = None,
+        backend: Optional[str] = None,
     ) -> None:
+        from repro.core.backend import validate_backend
+
         self.registry = ModuleRegistry()
+        if backend is None:
+            backend = os.environ.get(ENV_BACKEND) or "interp"
+        self.registry.backend = validate_backend(backend)
         if expansion_fuel is not None:
             self.registry.expansion_fuel = expansion_fuel
         self.stats = Stats()
@@ -259,6 +277,11 @@ class Runtime:
     def run_file(self, filename: str) -> str:
         return self.run(self.register_file(filename))
 
+    @property
+    def backend(self) -> str:
+        """The active execution backend (``"interp"`` or ``"pyc"``)."""
+        return self.registry.backend
+
     # -- cache helpers --------------------------------------------------------
 
     def cache_stats(self) -> dict[str, int]:
@@ -276,6 +299,8 @@ usage: python -m repro [options] <file.rkt>
        python -m repro cache doctor
 
 options:
+  --backend NAME       execution backend: interp (closure trees, default)
+                       or pyc (CPython code objects); also $REPRO_BACKEND
   --cache              use the compiled-artifact cache (default)
   --no-cache           compile from source, ignore the cache
   --cache-dir DIR      cache directory (default .repro-cache/ or $REPRO_CACHE_DIR)
@@ -313,6 +338,11 @@ def _cache_command(args: list[str], cache_dir: Optional[str]) -> int:
         report = cache.doctor()
         print(f"cache directory: {report['dir']}")
         print(f"artifacts scanned: {report['scanned']} ({report['ok']} ok)")
+        for name, magic in report.get("old_version", []):
+            print(
+                f"  old format {name}: intact artifact from cache version "
+                f"{magic!r} (ignored by loads; safe to clear)"
+            )
         for name, why, dest in report["quarantined"]:
             print(f"  quarantined {name}: {why} -> {dest}")
         for name in report["tmp_removed"]:
@@ -322,7 +352,8 @@ def _cache_command(args: list[str], cache_dir: Optional[str]) -> int:
         for problem in report["errors"]:
             print(f"  error: {problem}")
         if not (
-            report["quarantined"]
+            report.get("old_version")
+            or report["quarantined"]
             or report["tmp_removed"]
             or report["locks_removed"]
             or report["errors"]
@@ -436,6 +467,7 @@ def main(argv: Optional[list[str]] = None) -> int:
     args = list(argv if argv is not None else sys.argv[1:])
     use_cache: Optional[bool] = True  # the CLI mirrors Racket's compiled/
     cache_dir: Optional[str] = None
+    backend: Optional[str] = None
     log_optimizations = False
     budget_limits: dict[str, Any] = {}
 
@@ -471,6 +503,14 @@ def main(argv: Optional[list[str]] = None) -> int:
             cache_dir = args[i]
         elif arg.startswith("--cache-dir="):
             cache_dir = arg[len("--cache-dir="):]
+        elif arg == "--backend":
+            if i + 1 >= len(args):
+                print("error: --backend requires a name", file=sys.stderr)
+                return 2
+            i += 1
+            backend = args[i]
+        elif arg.startswith("--backend="):
+            backend = arg[len("--backend="):]
         elif arg == "--log-optimizations":
             log_optimizations = True
         elif arg in _BUDGET_FLAGS:
@@ -503,12 +543,17 @@ def main(argv: Optional[list[str]] = None) -> int:
         # a cache hit would skip the optimizer — nothing for the coach to see
         tracer = Tracer()
         use_cache = False
-    rt = Runtime(
-        cache=use_cache,
-        cache_dir=cache_dir,
-        trace=tracer,
-        budget=budget_limits or None,
-    )
+    try:
+        rt = Runtime(
+            cache=use_cache,
+            cache_dir=cache_dir,
+            trace=tracer,
+            budget=budget_limits or None,
+            backend=backend,
+        )
+    except ValueError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
     try:
         path = rt.register_file(rest[0])
         rt.instantiate(path)

@@ -1,0 +1,407 @@
+"""Differential suite: the pyc backend against the reference interpreter.
+
+The pyc backend (DESIGN.md §9) lowers core AST to CPython code objects; the
+interpreter walks closure-compiled trees. Both are full backends for the
+same language, so every observable — values, printed output, diagnostic
+codes, guard-exhaustion codes and step counts, instrumentation counters —
+must agree exactly. This suite runs every benchmark program under every
+configuration on both backends, plus hand-written feature and error
+programs, the examples as subprocesses, and the fault-injection crash
+scenario from ``test_faults.py`` under ``pyc``.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+sys.path.insert(0, ".")  # benchmarks/ is a top-level package
+
+from benchmarks.harness import CONFIGURATIONS, Harness
+from benchmarks.programs import ALL_PROGRAMS
+
+from repro import (
+    Budget,
+    BudgetExhausted,
+    CancelToken,
+    EvaluationCancelled,
+    ReproError,
+    Runtime,
+)
+from repro.faults import FaultPlan, InjectedCrash, use_fault_plan
+
+BACKENDS = ("interp", "pyc")
+
+#: counters that must agree exactly across backends
+COUNTERS = (
+    "generic_dispatches", "tag_checks", "unsafe_ops", "contract_checks"
+)
+
+
+def run_under(backend: str, source: str, *, budget=None, path="<diff>"):
+    """Run ``source`` on ``backend``; return ``(output, error, stats)``.
+
+    ``error`` is ``None`` on success, else ``(type-name, code, message,
+    steps_consumed)`` — everything the two backends must agree on when a
+    program fails.
+    """
+    with Runtime(backend=backend, budget=budget) as rt:
+        try:
+            output = rt.run_source(source, path=path)
+            error = None
+        except (BudgetExhausted, EvaluationCancelled) as err:
+            output = None
+            error = (
+                type(err).__name__, err.code, str(err), err.steps_consumed
+            )
+        except ReproError as err:
+            output = None
+            error = (
+                type(err).__name__, getattr(err, "code", None), str(err), None
+            )
+        return output, error, rt.stats.snapshot()
+
+
+def assert_backends_agree(source: str, *, budget=None):
+    interp = run_under("interp", source, budget=budget)
+    pyc = run_under("pyc", source, budget=budget)
+    assert interp[0] == pyc[0], "output differs between backends"
+    assert interp[1] == pyc[1], "diagnostic differs between backends"
+    for counter in COUNTERS + (("eval_steps",) if budget is not None else ()):
+        assert interp[2][counter] == pyc[2][counter], (
+            f"{counter}: interp={interp[2][counter]} pyc={pyc[2][counter]}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# every benchmark program, every configuration
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def interp_harness():
+    return Harness(backend="interp")
+
+
+@pytest.fixture(scope="module")
+def pyc_harness():
+    return Harness(backend="pyc")
+
+
+@pytest.mark.parametrize("config", CONFIGURATIONS)
+@pytest.mark.parametrize("program", ALL_PROGRAMS, ids=lambda p: p.name)
+def test_benchmark_program_differential(
+    interp_harness, pyc_harness, program, config
+):
+    interp = interp_harness.run(program, config)
+    pyc = pyc_harness.run(program, config)
+    assert interp.output == pyc.output
+    assert interp.generic_dispatches == pyc.generic_dispatches
+    assert interp.tag_checks == pyc.tag_checks
+    assert interp.unsafe_ops == pyc.unsafe_ops
+    assert interp.contract_checks == pyc.contract_checks
+
+
+# ---------------------------------------------------------------------------
+# language features, hand-written
+# ---------------------------------------------------------------------------
+
+FEATURE_PROGRAMS = {
+    "multiple-values": """#lang racket
+(define-values (q r) (values 17 5))
+(displayln (+ q r))
+(call-with-values (lambda () (values 1 2 3)) (lambda (a b c) (displayln (list a b c))))
+""",
+    "set!-cells": """#lang racket
+(define counter
+  (let ([n 0])
+    (lambda () (set! n (+ n 1)) n)))
+(counter)
+(counter)
+(displayln (counter))
+""",
+    "letrec-mutual": """#lang racket
+(define (even? n) (if (= n 0) #t (odd? (- n 1))))
+(define (odd? n) (if (= n 0) #f (even? (- n 1))))
+(displayln (even? 10001))
+""",
+    "deep-non-tail": """#lang racket
+(define (count n) (if (= n 0) 0 (+ 1 (count (- n 1)))))
+(displayln (count 300))
+""",
+    "tail-loop": """#lang racket
+(define (iter n acc) (if (= n 0) acc (iter (- n 1) (+ acc 1))))
+(displayln (iter 100000 0))
+""",
+    "rest-args": """#lang racket
+(define (f x . rest) (cons x rest))
+(displayln (f 1 2 3))
+(displayln (apply f (list 10 20)))
+""",
+    "higher-order": """#lang racket
+(displayln (map (lambda (x) (* x x)) (list 1 2 3 4)))
+(displayln (foldl + 0 (list 1 2 3 4 5)))
+""",
+    "vectors-strings": """#lang racket
+(define v (make-vector 3 0))
+(vector-set! v 1 "mid")
+(displayln (vector-ref v 1))
+(displayln (string-append "a" "b" "c"))
+""",
+    "shadowing-let": """#lang racket
+(define x 1)
+(displayln (let ([x 2]) (let ([x (+ x 10)]) x)))
+(displayln x)
+""",
+}
+
+
+@pytest.mark.parametrize("name", sorted(FEATURE_PROGRAMS))
+def test_feature_differential(name):
+    assert_backends_agree(FEATURE_PROGRAMS[name])
+
+
+@pytest.mark.parametrize("name", sorted(FEATURE_PROGRAMS))
+def test_feature_differential_governed(name):
+    """Same programs under a counting guard: eval_steps must match too."""
+    assert_backends_agree(FEATURE_PROGRAMS[name], budget=True)
+
+
+def test_typed_untyped_contract_boundary():
+    """A typed module required from untyped code raises the same contract
+    diagnostic (code and message) on both backends."""
+    typed = """#lang typed
+(define (double [n : Integer]) : Integer (* 2 n))
+(provide double)
+"""
+    untyped = """#lang racket
+(require "t")
+(displayln (double "nope"))
+"""
+    results = []
+    for backend in BACKENDS:
+        with Runtime(backend=backend) as rt:
+            rt.register_module("t", typed)
+            rt.register_module("u", untyped)
+            try:
+                results.append(("ok", rt.run("u")))
+            except ReproError as err:
+                results.append((type(err).__name__,
+                                getattr(err, "code", None), str(err)))
+    assert results[0] == results[1]
+    assert results[0][0] != "ok"
+
+
+# ---------------------------------------------------------------------------
+# runtime errors: identical diagnostics, identical counters on the way down
+# ---------------------------------------------------------------------------
+
+ERROR_PROGRAMS = {
+    "car-of-non-pair": "#lang racket\n(car 5)\n",
+    "vector-out-of-range": "#lang racket\n(vector-ref (vector 1 2) 9)\n",
+    "add-non-number": "#lang racket\n(+ 1 \"x\")\n",
+    "compare-non-real": "#lang racket\n(< 1 \"y\")\n",
+    "use-before-definition": "#lang racket\n(define a b)\n(define b 1)\n",
+    "arity-mismatch": "#lang racket\n(define (f x y) x)\n(f 1)\n",
+    "apply-non-procedure": "#lang racket\n(define x 3)\n(x 1 2)\n",
+}
+
+
+@pytest.mark.parametrize("name", sorted(ERROR_PROGRAMS))
+def test_error_differential(name):
+    assert_backends_agree(ERROR_PROGRAMS[name])
+
+
+# ---------------------------------------------------------------------------
+# guard exhaustion: G001–G005 with identical codes and step counts
+# ---------------------------------------------------------------------------
+
+LOOP = "#lang racket\n(define (loop) (loop))\n(loop)\n"
+DEEP = ERROR_PROGRAMS  # noqa: F841  (documentation cross-ref only)
+
+
+class TestGuardParity:
+    def test_g001_step_budget_identical_step_counts(self):
+        assert_backends_agree(LOOP, budget={"steps": 5000})
+        _, error, _ = run_under("pyc", LOOP, budget={"steps": 5000})
+        assert error[1] == "G001"
+
+    def test_g002_deadline_fires_on_both(self):
+        for backend in BACKENDS:
+            _, error, _ = run_under(backend, LOOP, budget={"seconds": 0.2})
+            assert error is not None and error[1] == "G002", backend
+
+    def test_g003_depth_budget_identical(self):
+        deep = FEATURE_PROGRAMS["deep-non-tail"]
+        assert_backends_agree(deep, budget={"max_depth": 50})
+        _, error, _ = run_under("pyc", deep, budget={"max_depth": 50})
+        assert error[1] == "G003"
+
+    def test_g003_tail_calls_do_not_deepen_on_either_backend(self):
+        assert_backends_agree(
+            FEATURE_PROGRAMS["tail-loop"], budget={"max_depth": 50}
+        )
+        output, error, _ = run_under(
+            "pyc", FEATURE_PROGRAMS["tail-loop"], budget={"max_depth": 50}
+        )
+        assert error is None and output == "100000\n"
+
+    def test_g004_allocation_budget_identical(self):
+        bomb = """#lang racket
+(define (build n) (if (= n 0) '() (cons n (build (- n 1)))))
+(displayln (length (build 500)))
+"""
+        assert_backends_agree(bomb, budget={"allocations": 100})
+        _, error, _ = run_under("pyc", bomb, budget={"allocations": 100})
+        assert error[1] == "G004"
+
+    def test_g005_cancellation_identical(self):
+        token = CancelToken()
+        token.cancel("host shutdown")
+        results = []
+        for backend in BACKENDS:
+            with Runtime(backend=backend,
+                         budget=Budget(cancel=token)) as rt:
+                with pytest.raises(EvaluationCancelled) as excinfo:
+                    rt.run_source(LOOP, path="<g005>")
+            results.append((excinfo.value.code, str(excinfo.value)))
+        assert results[0] == results[1]
+        assert results[0][0] == "G005"
+
+    def test_successful_run_has_identical_step_counts(self):
+        fib = """#lang racket
+(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))
+(displayln (fib 15))
+"""
+        assert_backends_agree(fib, budget=True)
+
+
+# ---------------------------------------------------------------------------
+# examples/ as subprocesses, selected via $REPRO_BACKEND
+# ---------------------------------------------------------------------------
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+EXAMPLES = sorted(
+    name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py")
+)
+
+
+def _run_example(name: str, backend: str) -> str:
+    env = dict(os.environ)
+    env["REPRO_BACKEND"] = backend
+    env["PYTHONPATH"] = os.pathsep.join(
+        ["src", env.get("PYTHONPATH", "")]
+    ).rstrip(os.pathsep)
+    proc = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, name)],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=os.path.join(os.path.dirname(__file__), ".."),
+        timeout=120,
+    )
+    assert proc.returncode == 0, f"{name} [{backend}] failed:\n{proc.stderr}"
+    return proc.stdout
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_differential(name):
+    import re
+
+    def normalize(text: str) -> str:
+        # optimizer_tour prints wall-clock timings; mask them
+        return re.sub(r"\s*\d+(\.\d+)?\s*ms", " X ms", text)
+
+    assert normalize(_run_example(name, "interp")) == normalize(
+        _run_example(name, "pyc")
+    )
+
+
+# ---------------------------------------------------------------------------
+# cache: warm starts skip codegen; faults recover; doctor reports old formats
+# ---------------------------------------------------------------------------
+
+SOURCE = "#lang racket\n(define (sq x) (* x x))\n(displayln (sq 7))\n"
+EXPECTED = "49\n"
+
+
+def pyc_cached_runtime(tmp_path, **modules) -> Runtime:
+    rt = Runtime(cache_dir=str(tmp_path / "cache"), backend="pyc")
+    for path, source in modules.items():
+        rt.register_module(path, source)
+    return rt
+
+
+class TestPycCache:
+    def test_warm_start_skips_codegen(self, tmp_path):
+        with pyc_cached_runtime(tmp_path, m=SOURCE) as rt:
+            assert rt.run("m") == EXPECTED
+            assert rt.stats.pyc_codegens >= 1
+            assert rt.stats.cache_stores == 1
+        with pyc_cached_runtime(tmp_path, m=SOURCE) as rt2:
+            assert rt2.run("m") == EXPECTED
+            assert rt2.stats.cache_hits == 1
+            # the marshalled code objects came out of the .zo artifact:
+            # zero code generation on the warm path
+            assert rt2.stats.pyc_codegens == 0
+            assert rt2.stats.pyc_links >= 1
+
+    def test_interp_artifact_upgraded_for_pyc_runtime(self, tmp_path):
+        """An artifact stored by an interp Runtime is still usable by a pyc
+        Runtime (which generates and runs code for it)."""
+        with Runtime(cache_dir=str(tmp_path / "cache")) as rt:
+            rt.register_module("m", SOURCE)
+            assert rt.run("m") == EXPECTED
+        with pyc_cached_runtime(tmp_path, m=SOURCE) as rt2:
+            assert rt2.run("m") == EXPECTED
+            assert rt2.stats.cache_hits == 1
+
+    def test_mid_instantiation_crash_leaves_recoverable_debris(
+        self, tmp_path
+    ):
+        """``test_faults.py``'s crash-between-write-and-rename scenario,
+        under the pyc backend: the kill surfaces, the cache holds only
+        torn-write debris (never a torn artifact), and a later runtime
+        recovers by recompiling."""
+        rt = pyc_cached_runtime(tmp_path, m=SOURCE)
+        with pytest.raises(InjectedCrash):
+            with use_fault_plan(FaultPlan().rule("cache.replace", "crash")):
+                rt.run("m")
+        cache_dir = rt.cache.dir
+        debris = [n for n in os.listdir(cache_dir) if ".tmp." in n]
+        assert debris
+        assert not [n for n in os.listdir(cache_dir) if n.endswith(".zo")]
+        rt.close()
+        with pyc_cached_runtime(tmp_path, m=SOURCE) as rt2:
+            assert rt2.run("m") == EXPECTED
+            # the recovery store may reuse (and rename away) the debris
+            # file's name within this process; doctor sweeps what is left
+            remaining = [n for n in os.listdir(cache_dir) if ".tmp." in n]
+            report = rt2.cache.doctor()
+            assert sorted(report["tmp_removed"]) == sorted(remaining)
+            assert not [
+                n for n in os.listdir(cache_dir) if ".tmp." in n
+            ]
+
+    def test_doctor_reports_old_format_artifacts(self, tmp_path):
+        """A structurally intact artifact from an earlier cache format is
+        reported as old, not quarantined (see satellite: version-skew)."""
+        import hashlib
+
+        with pyc_cached_runtime(tmp_path, m=SOURCE) as rt:
+            assert rt.run("m") == EXPECTED
+            payload = b"stale pickle bytes from an earlier release"
+            old = (b"REPROZO\x02"
+                   + hashlib.sha256(payload).digest() + payload)
+            stale_path = os.path.join(rt.cache.dir, "0" * 64 + ".zo")
+            with open(stale_path, "wb") as f:
+                f.write(old)
+            report = rt.cache.doctor()
+            assert [name for name, _ in report["old_version"]] == [
+                "0" * 64 + ".zo"
+            ]
+            assert report["quarantined"] == []
+            assert os.path.exists(stale_path)  # reported, never deleted

@@ -124,11 +124,18 @@ class TestWarmStart:
         )
         source = f"#lang racket\n{defs}\n(displayln (f399 1))\n"
 
+        import gc
+
+        # collect before each timed region: a gen-2 collection of garbage
+        # left by *earlier tests* landing inside the ~10ms warm window
+        # would swamp the load itself
         with cached_runtime(tmp_path, big=source) as rt:
+            gc.collect()
             t0 = time.perf_counter()
             rt.compile("big")
             cold = time.perf_counter() - t0
         with cached_runtime(tmp_path, big=source) as rt2:
+            gc.collect()
             t0 = time.perf_counter()
             rt2.compile("big")
             warm = time.perf_counter() - t0

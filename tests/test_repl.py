@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 from io import StringIO
 
 import pytest
@@ -100,6 +101,40 @@ class TestReplMetaCommands:
     def test_trace_before_any_eval(self):
         out = drive(",trace")
         assert "nothing evaluated yet" in out
+
+    def test_backend_shows_active(self):
+        out = drive(",backend")
+        default = os.environ.get("REPRO_BACKEND", "interp")
+        assert f"backend: {default}" in out
+
+    def test_backend_switch_keeps_definitions(self):
+        """,backend pyc: the next input re-instantiates the accumulated
+        module in a fresh namespace under the new backend."""
+        repl = Repl()
+        repl.forms.append("(define (%repl-show v) (displayln v))")
+        repl.eval_input("(define (sq x) (* x x))")
+        out = repl.eval_input(",backend pyc")
+        assert "backend: pyc" in out
+        assert repl.eval_input("(sq 7)").strip() == "49"
+        # the input really ran under pyc: codegen + link were charged
+        assert repl.runtime.stats.pyc_codegens > 0
+        assert repl.runtime.stats.pyc_links > 0
+        # and back again, state intact
+        assert "backend: interp" in repl.eval_input(",backend interp")
+        assert repl.eval_input("(sq 8)").strip() == "64"
+
+    def test_backend_rejects_unknown(self):
+        out = drive(",backend bogus")
+        assert "usage: ,backend" in out
+
+    def test_stats_attributes_time_to_backend_phases(self):
+        repl = Repl(backend="pyc")
+        repl.forms.append("(define (%repl-show v) (displayln v))")
+        repl.eval_input("(+ 1 2)")
+        out = repl.eval_input(",stats")
+        assert "time by phase (backend: pyc):" in out
+        assert "pyc-codegen" in out
+        assert "* = pyc backend's own phases" in out
 
     def test_trace_shows_last_input_macro_steps(self):
         repl = Repl()
