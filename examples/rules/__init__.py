@@ -1,0 +1,2 @@
+# The modules in this package are #lang files (see *.rkt); they become
+# importable once repro.importer.install() has run.

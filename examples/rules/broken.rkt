@@ -1,0 +1,2 @@
+#lang racket
+(displayln mystery-quantity)

@@ -1,0 +1,7 @@
+#lang racket
+(define-syntax define-rule
+  (syntax-rules ()
+    [(_ (name arg ...) body) (define (name arg ...) body)]))
+(define-rule (discount total) (- total (/ (* total 10) 100)))
+(define-rule (bulk? n) (>= n 12))
+(provide discount bulk?)

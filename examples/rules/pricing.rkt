@@ -1,0 +1,8 @@
+#lang racket
+(require "discounts.rkt")
+(define base-price 100)
+(define (final-price n)
+  (if (bulk? n)
+      (discount (* n base-price))
+      (* n base-price)))
+(provide base-price final-price)

@@ -1,0 +1,16 @@
+"""``import repro.activate`` — install the ``#lang`` import hook, mcpyrate
+style: one side-effecting import at the top of an entry point makes every
+registered ``#lang`` file importable as an ordinary Python module.
+
+Equivalent to::
+
+    from repro.importer import install
+    install()
+
+The installed finder is exported as :data:`finder` so callers can inspect
+or reconfigure it (``repro.importer.install(...)`` replaces it).
+"""
+
+from repro.importer import install, installed
+
+finder = installed() or install()

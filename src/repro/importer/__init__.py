@@ -1,0 +1,41 @@
+"""``repro.importer`` — import ``#lang`` modules with Python's ``import``.
+
+Quickstart::
+
+    import repro.activate            # installs the hook with defaults
+    import myapp.rules               # resolves myapp/rules.rkt
+    myapp.rules.price_of("widget")   # provides are module attributes
+
+or, configured explicitly::
+
+    from repro.importer import install
+    install(budget={"steps": 1_000_000}, cache_dir="/var/cache/repro")
+
+See :mod:`repro.importer.hook` for the full design.
+"""
+
+from repro.importer.hook import (
+    DEFAULT_SUFFIXES,
+    ImportContext,
+    ImportedProcedure,
+    ReproFinder,
+    ReproImportError,
+    ReproLoader,
+    install,
+    installed,
+    python_name,
+    uninstall,
+)
+
+__all__ = [
+    "DEFAULT_SUFFIXES",
+    "ImportContext",
+    "ImportedProcedure",
+    "ReproFinder",
+    "ReproImportError",
+    "ReproLoader",
+    "install",
+    "installed",
+    "python_name",
+    "uninstall",
+]

@@ -575,16 +575,58 @@ class ModuleCache:
                     continue
         return out
 
-    def clear(self) -> int:
-        """Delete every artifact; returns how many were removed."""
-        removed = 0
-        for name, _size in self.entries():
+    def clear(self) -> dict:
+        """Delete every artifact *and* the cache's debris.
+
+        Earlier versions iterated :meth:`entries` (``*.zo`` only), so
+        ``repro cache clear`` reported success while leaving the
+        ``quarantine/`` subdirectory, torn-write ``*.tmp.*`` files, and
+        stale lock files behind. This sweeps the same categories
+        :meth:`doctor` knows about and removes them; a lock file with a
+        live holder is left alone.
+
+        Returns a report dict: counts for ``artifacts``, ``quarantined``,
+        ``tmp``, and ``locks`` removed, plus any per-file ``errors``.
+        """
+        report: dict[str, Any] = {
+            "dir": self.dir,
+            "artifacts": 0,
+            "quarantined": 0,
+            "tmp": 0,
+            "locks": 0,
+            "errors": [],
+        }
+        try:
+            names = sorted(os.listdir(self.dir))
+        except OSError:
+            return report
+
+        def remove(full: str, counter: str) -> None:
             try:
-                os.unlink(os.path.join(self.dir, name))
-                removed += 1
-            except OSError:
-                continue
-        return removed
+                os.unlink(full)
+                report[counter] += 1
+            except OSError as err:
+                report["errors"].append(f"cannot remove {full}: {err}")
+
+        for name in names:
+            full = os.path.join(self.dir, name)
+            if name == QUARANTINE_DIR and os.path.isdir(full):
+                try:
+                    quarantined = sorted(os.listdir(full))
+                except OSError as err:
+                    report["errors"].append(f"cannot list {full}: {err}")
+                    continue
+                for qname in quarantined:
+                    remove(os.path.join(full, qname), "quarantined")
+                with suppress(OSError):
+                    os.rmdir(full)
+            elif name.endswith(".zo"):
+                remove(full, "artifacts")
+            elif ".tmp." in name:
+                remove(full, "tmp")
+            elif name.endswith(".lock") and self._lock_is_stale(full):
+                remove(full, "locks")
+        return report
 
     def doctor(self) -> dict:
         """Scan and repair the cache directory.

@@ -32,6 +32,20 @@ if TYPE_CHECKING:
 KERNEL_PATH = "#%kernel"
 
 
+def canonical_path(filename: str) -> str:
+    """The one canonical registry key for an on-disk module file.
+
+    ``realpath`` collapses symlinks and relative spellings
+    (``./m.rkt``, ``sub/../m.rkt``), ``normcase`` collapses case on
+    case-insensitive filesystems. Without this the same file reached two
+    ways registered — and instantiated — twice (``abspath`` alone keeps
+    symlinks distinct). The import hook (:mod:`repro.importer`) relies on
+    this being a pure function of the file's identity."""
+    import os
+
+    return os.path.normcase(os.path.realpath(filename))
+
+
 class Export:
     """One exported name of a module or language."""
 
@@ -321,11 +335,23 @@ class ModuleRegistry:
             TABLE.remove_entries(compiled.table_fragment)
 
     def register_file(self, filename: str) -> str:
-        import os
+        """Register an on-disk module file under its canonical path.
 
-        path = os.path.abspath(filename)
-        with open(filename, "r", encoding="utf-8") as f:
-            self.register_module_source(path, f.read())
+        Idempotent for unchanged files: re-registering the same file (via
+        any spelling — symlink, relative path, different case) with the
+        same content keeps the existing registration *and* its compiled
+        module, so requirers and importers sharing a namespace see one
+        module instance.
+        """
+        import hashlib
+
+        path = canonical_path(filename)
+        with open(path, "r", encoding="utf-8") as f:
+            text = f.read()
+        digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
+        if path in self.sources and self._source_hashes.get(path) == digest:
+            return path
+        self.register_module_source(path, text)
         return path
 
     # -- lookup / compilation ------------------------------------------------
@@ -378,7 +404,11 @@ class ModuleRegistry:
             import os
 
             if os.path.exists(path):
-                self.register_file(path)
+                canon = self.register_file(path)
+                if canon != path:
+                    # a non-canonical spelling reached us directly; compile
+                    # under the one canonical key
+                    return self.get_compiled(canon, requirer, srcloc)
                 source = self.sources[path]
             else:
                 raise ModuleError(
@@ -549,12 +579,14 @@ class ModuleRegistry:
 
             base = os.path.dirname(relative_to)
             candidate = os.path.normpath(os.path.join(base, spec))
-            if candidate in self.sources or os.path.exists(candidate):
+            if candidate in self.sources:
                 return candidate
+            if os.path.exists(candidate):
+                return canonical_path(candidate)
         import os
 
         if os.path.exists(spec):
-            return os.path.abspath(spec)
+            return canonical_path(spec)
         raise ModuleError(
             f"cannot resolve module: {spec}"
             f"{self._requirer_note(relative_to, srcloc)}",

@@ -18,7 +18,12 @@ def split_lang_line(text: str, source: str = "<string>") -> tuple[Optional[str],
     """Split off a leading ``#lang`` line. Returns (language name or None, body).
 
     Leading whitespace and comment lines before ``#lang`` are permitted.
+    A UTF-8 byte-order mark (some editors write one; ``open(...,
+    encoding="utf-8")`` surfaces it as ``\\ufeff``) is not part of the
+    program and is stripped before looking for ``#lang``.
     """
+    if text.startswith("\ufeff"):
+        text = text[1:]
     offset = 0
     lines = text.split("\n")
     for i, line in enumerate(lines):

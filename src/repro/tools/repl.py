@@ -36,6 +36,8 @@ meta-commands:
   ,budget NAME off clear a limit
   ,backend         show the active execution backend
   ,backend NAME    switch backend (interp | pyc); next input runs under it
+  ,import NAME     import a #lang file as a Python module via the import
+                   hook (repro.importer) and list its provides
 """
 
 #: observe phases attributed to each backend's final pipeline stage; the
@@ -144,7 +146,49 @@ class Repl:
             return self._budget_command(args)
         if cmd == ",backend":
             return self._backend_command(args)
+        if cmd == ",import":
+            return self._import_command(args)
         return f"unknown meta-command {cmd} (try ,help)\n"
+
+    def _import_command(self, args: list[str]) -> str:
+        """Demo the meta-path hook from the REPL: ``,import app.rules``
+        imports a ``#lang`` file (searched on sys.path + the working
+        directory) as a Python module and lists its provides."""
+        import importlib
+        import os
+        import sys
+
+        from repro.importer import ReproImportError, install, installed
+
+        if len(args) != 1:
+            return "usage: ,import MODULE.NAME (resolves MODULE/NAME.rkt)\n"
+        if installed() is None:
+            # the REPL session shares one hook; its runtime matches the
+            # session's backend, and caching stays on (imports are the
+            # deployment path, unlike the REPL's always-recompile loop)
+            install(backend=self.runtime.registry.backend)
+        cwd = os.getcwd()
+        if cwd not in sys.path:
+            sys.path.insert(0, cwd)
+        name = args[0]
+        try:
+            sys.modules.pop(name, None)  # re-import on request
+            module = importlib.import_module(name)
+        except ReproImportError as err:
+            return f"import error: {err}\n"
+        except ImportError as err:
+            return f"import error: {err}\n"
+        language = getattr(module, "__language__", None)
+        if language is None:
+            return (
+                f"{name} is a plain Python module "
+                f"({getattr(module, '__file__', '?')}), not a #lang file\n"
+            )
+        provides = ", ".join(module.__provides__) or "(none)"
+        return (
+            f"imported {name} from {module.__file__} (#lang {language})\n"
+            f"provides: {provides}\n"
+        )
 
     def _phase_lines(self) -> list[str]:
         """Session time by observe phase, the active backend's codegen

@@ -294,9 +294,16 @@ _USAGE = """\
 usage: python -m repro [options] <file.rkt>
        python -m repro run [options] <file.rkt>
        python -m repro trace <file.rkt|script.py> [--format chrome|summary|jsonl] [--out FILE]
+       python -m repro import-smoke [options] <module.name> [--dir DIR]
        python -m repro cache stats
        python -m repro cache clear
        python -m repro cache doctor
+
+import-smoke installs the #lang import hook (repro.importer), imports the
+named Python module (resolving registered #lang files such as .rkt), and
+reports its provides plus cache/expansion counters — "expansions=0" on a
+warm cache proves the import skipped macro expansion entirely. --dir DIR
+prepends DIR to sys.path (default: the working directory).
 
 options:
   --backend NAME       execution backend: interp (closure trees, default)
@@ -323,9 +330,18 @@ def _cache_command(args: list[str], cache_dir: Optional[str]) -> int:
     cache = ModuleCache(cache_dir)
     sub = args[0] if args else "stats"
     if sub == "clear":
-        removed = cache.clear()
-        print(f"removed {removed} artifact(s) from {cache.dir}")
-        return 0
+        report = cache.clear()
+        parts = [f"{report['artifacts']} artifact(s)"]
+        if report["quarantined"]:
+            parts.append(f"{report['quarantined']} quarantined file(s)")
+        if report["tmp"]:
+            parts.append(f"{report['tmp']} torn-write temp file(s)")
+        if report["locks"]:
+            parts.append(f"{report['locks']} stale lock(s)")
+        print(f"removed {', '.join(parts)} from {cache.dir}")
+        for problem in report["errors"]:
+            print(f"  error: {problem}", file=sys.stderr)
+        return 1 if report["errors"] else 0
     if sub == "stats":
         entries = cache.entries()
         total = sum(size for _name, size in entries)
@@ -362,6 +378,87 @@ def _cache_command(args: list[str], cache_dir: Optional[str]) -> int:
         return 1 if report["errors"] else 0
     print(f"error: unknown cache command: {sub}", file=sys.stderr)
     return 2
+
+
+def _import_smoke_command(
+    args: list[str],
+    *,
+    use_cache: Optional[bool],
+    cache_dir: Optional[str],
+    backend: Optional[str],
+    budget_limits: dict[str, Any],
+) -> int:
+    """``repro import-smoke app.rules`` — import a ``#lang`` module through
+    the meta-path hook and report provides + counters. Exit 0 on success,
+    1 on ImportError (the diagnostic chain is printed)."""
+    import importlib
+    import sys
+
+    from repro.importer import ReproImportError, install, uninstall
+
+    search_dir: Optional[str] = None
+    names: list[str] = []
+    i = 0
+    while i < len(args):
+        arg = args[i]
+        if arg == "--dir":
+            if i + 1 >= len(args):
+                print("error: --dir requires a directory", file=sys.stderr)
+                return 2
+            i += 1
+            search_dir = args[i]
+        elif arg.startswith("--dir="):
+            search_dir = arg[len("--dir="):]
+        else:
+            names.append(arg)
+        i += 1
+    if len(names) != 1:
+        print(_USAGE, file=sys.stderr)
+        return 2
+    sys.path.insert(0, search_dir if search_dir is not None else os.getcwd())
+    try:
+        rt = Runtime(
+            cache=use_cache,
+            cache_dir=cache_dir,
+            backend=backend,
+            budget=budget_limits or None,
+        )
+    except ValueError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    install(rt)
+    try:
+        module = importlib.import_module(names[0])
+    except ReproImportError as err:
+        print(f"error: {err}", file=sys.stderr)
+        rt.close()
+        return 1
+    except ImportError as err:
+        print(f"error: cannot import {names[0]}: {err}", file=sys.stderr)
+        rt.close()
+        return 1
+    finally:
+        uninstall()
+        for diag in rt.cache.diagnostics if rt.cache is not None else ():
+            print(diag, file=sys.stderr)
+    language = getattr(module, "__language__", None)
+    if language is None:
+        print(
+            f"error: {names[0]} resolved to a plain Python module "
+            f"({getattr(module, '__file__', '?')}), not a #lang file",
+            file=sys.stderr,
+        )
+        return 1
+    snap = rt.stats
+    print(f"imported {names[0]} from {module.__file__} (#lang {language})")
+    print(f"provides: {', '.join(module.__provides__) or '(none)'}")
+    print(
+        f"[import] expansions={snap.expansion_steps} "
+        f"codegens={snap.pyc_codegens} cache hits={snap.cache_hits} "
+        f"misses={snap.cache_misses} stores={snap.cache_stores}"
+    )
+    rt.close()
+    return 0
 
 
 def _trace_command(args: list[str]) -> int:
@@ -532,6 +629,14 @@ def main(argv: Optional[list[str]] = None) -> int:
         return _cache_command(rest[1:], cache_dir)
     if rest and rest[0] == "trace":
         return _trace_command(rest[1:])
+    if rest and rest[0] == "import-smoke":
+        return _import_smoke_command(
+            rest[1:],
+            use_cache=use_cache,
+            cache_dir=cache_dir,
+            backend=backend,
+            budget_limits=budget_limits,
+        )
     if rest and rest[0] == "run":
         rest = rest[1:]
 

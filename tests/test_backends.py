@@ -386,6 +386,41 @@ class TestPycCache:
                 n for n in os.listdir(cache_dir) if ".tmp." in n
             ]
 
+    def test_backend_precedence_explicit_beats_env(self, monkeypatch):
+        """Backend selection precedence: the explicit ``Runtime(backend=)``
+        argument beats ``$REPRO_BACKEND``, which beats the default."""
+        monkeypatch.setenv("REPRO_BACKEND", "pyc")
+        with Runtime(backend="interp") as rt:
+            assert rt.backend == "interp"
+        with Runtime() as rt:
+            assert rt.backend == "pyc"
+        monkeypatch.delenv("REPRO_BACKEND")
+        with Runtime() as rt:
+            assert rt.backend == "interp"
+
+    def test_backend_precedence_explicit_beats_bad_env(self, monkeypatch):
+        """An invalid env value must not poison an explicit choice — the
+        env is only consulted when no argument is given."""
+        monkeypatch.setenv("REPRO_BACKEND", "bogus")
+        with Runtime(backend="interp") as rt:
+            assert rt.run_source("#lang racket\n(displayln 'up)\n") == "up\n"
+        with pytest.raises(ValueError, match="bogus"):
+            Runtime()
+
+    def test_cli_backend_flag_beats_env(self, tmp_path, capsys, monkeypatch):
+        from repro.tools.runner import main
+
+        monkeypatch.setenv("REPRO_BACKEND", "bogus")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        prog = tmp_path / "p.rkt"
+        prog.write_text("#lang racket\n(displayln 'cli)\n")
+        # explicit flag wins: runs despite the broken env
+        assert main(["--backend", "pyc", str(prog)]) == 0
+        assert capsys.readouterr().out == "cli\n"
+        # without the flag the env is consulted and rejected cleanly
+        assert main([str(prog)]) == 2
+        assert "bogus" in capsys.readouterr().err
+
     def test_doctor_reports_old_format_artifacts(self, tmp_path):
         """A structurally intact artifact from an earlier cache format is
         reported as old, not quarantined (see satellite: version-skew)."""

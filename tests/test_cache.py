@@ -238,8 +238,33 @@ class TestCacheManagement:
             rt.run("a")
             rt.run("b")
             assert len(rt.cache.entries()) == 2
-            assert rt.cache.clear() == 2
+            report = rt.cache.clear()
+            assert report["artifacts"] == 2
             assert rt.cache.entries() == []
+
+    def test_clear_sweeps_quarantine_tmp_and_stale_locks(self, tmp_path):
+        """``clear`` used to delete only ``*.zo``; quarantined artifacts,
+        torn-write temp files, and stale locks accumulated forever. It must
+        leave an empty directory tree and report what it removed."""
+        with cached_runtime(tmp_path, m="#lang racket\n(displayln 1)\n") as rt:
+            rt.run("m")
+            cache_dir = rt.cache.dir
+            qdir = os.path.join(cache_dir, "quarantine")
+            os.makedirs(qdir, exist_ok=True)
+            with open(os.path.join(qdir, "bad.zo.corrupt"), "wb") as f:
+                f.write(b"quarantined junk")
+            with open(os.path.join(cache_dir, "x.zo.tmp.123"), "wb") as f:
+                f.write(b"torn write")
+            # a lock file no live process holds is stale by definition
+            with open(os.path.join(cache_dir, "y.zo.lock"), "wb"):
+                pass
+            report = rt.cache.clear()
+            assert report["artifacts"] == 1
+            assert report["quarantined"] == 1
+            assert report["tmp"] == 1
+            assert report["locks"] == 1
+            assert report["errors"] == []
+            assert os.listdir(cache_dir) == []  # empty tree, debris included
 
     def test_cache_stats_helper(self, tmp_path):
         with cached_runtime(tmp_path, m="#lang racket\n(displayln 1)\n") as rt:

@@ -232,6 +232,57 @@ class TestFileModules(object):
         assert main([]) == 2
 
 
+class TestCanonicalRegistration:
+    """``register_file`` used to key by ``abspath`` alone, so a symlink or a
+    relative spelling of the same file registered — and instantiated — a
+    second module. All spellings must converge on one canonical key."""
+
+    BODY = "#lang racket\n(displayln 'boot)\n(define b (box 1))\n(provide b)\n"
+
+    def test_symlink_and_relative_spellings_share_one_key(self, rt, tmp_path):
+        import os
+
+        real = tmp_path / "m.rkt"
+        real.write_text(self.BODY)
+        (tmp_path / "sub").mkdir()
+        link = tmp_path / "alias.rkt"
+        os.symlink(str(real), str(link))
+        canon = rt.register_file(str(real))
+        assert rt.register_file(str(link)) == canon
+        assert rt.register_file(str(tmp_path / "sub" / ".." / "m.rkt")) == canon
+        assert len([p for p in rt.registry.sources if p == canon]) == 1
+
+    def test_two_require_spellings_one_instance(self, rt, tmp_path):
+        real = tmp_path / "m.rkt"
+        real.write_text(self.BODY)
+        (tmp_path / "sub").mkdir()
+        app = tmp_path / "app.rkt"
+        app.write_text(
+            '#lang racket\n'
+            '(require "m.rkt")\n'
+            '(require "sub/../m.rkt")\n'
+            '(displayln (unbox b))\n'
+        )
+        # a double registration would instantiate the body twice and print
+        # 'boot' twice
+        assert rt.run_file(str(app)) == "boot\n1\n"
+
+    def test_symlinked_require_shares_instance(self, rt, tmp_path):
+        import os
+
+        real = tmp_path / "m.rkt"
+        real.write_text(self.BODY)
+        os.symlink(str(real), str(tmp_path / "alias.rkt"))
+        app = tmp_path / "app.rkt"
+        app.write_text(
+            '#lang racket\n'
+            '(require "m.rkt")\n'
+            '(require "alias.rkt")\n'
+            '(displayln (unbox b))\n'
+        )
+        assert rt.run_file(str(app)) == "boot\n1\n"
+
+
 class TestAllDefinedOut:
     def test_untyped_all_defined(self, rt):
         rt.register_module(

@@ -242,6 +242,18 @@ class TestLangLine:
         lang, _ = split_lang_line("; header\n\n#lang racket\nx")
         assert lang == "racket"
 
+    def test_bom_before_lang(self):
+        # files saved by BOM-writing editors start with U+FEFF; the lang
+        # line must still be recognized
+        lang, body = split_lang_line("\ufeff#lang racket\n(+ 1 2)")
+        assert lang == "racket"
+        assert "(+ 1 2)" in body
+
+    def test_bom_module_reads_end_to_end(self):
+        lang, forms = read_module_source("\ufeff#lang racket\n(define x 1)")
+        assert lang == "racket"
+        assert len(forms) == 1
+
     def test_no_lang(self):
         lang, body = split_lang_line("(+ 1 2)")
         assert lang is None
