@@ -42,6 +42,7 @@ CODES: dict[str, str] = {
     "C103": "compiled artifact could not be stored",
     "C104": "corrupt compiled artifact quarantined (recompiled from source)",
     "C105": "cache directory unavailable (caching disabled)",
+    "C106": "timed out waiting for a concurrent artifact writer (compiled locally)",
     # resource governance (repro.guard)
     "G001": "evaluation step budget exhausted",
     "G002": "evaluation wall-clock deadline exceeded",

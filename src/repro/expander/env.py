@@ -19,6 +19,7 @@ as a typed language's ``add-type!``.
 
 from __future__ import annotations
 
+import contextvars
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
@@ -119,21 +120,41 @@ class ExpandContext:
         return self.stores[key]
 
 
-#: stack of active expansion contexts (innermost last)
-_CONTEXT_STACK: list[ExpandContext] = []
+#: stack of active expansion contexts (innermost last), *context-local* so
+#: concurrent compilations on different threads each see only their own
+#: stack — a process-global list here let thread B's pop_context remove
+#: thread A's innermost context mid-expansion
+_CONTEXT_STACK: "contextvars.ContextVar[Optional[list[ExpandContext]]]" = (
+    contextvars.ContextVar("repro_expand_contexts", default=None)
+)
+
+
+def _context_stack() -> list[ExpandContext]:
+    stack = _CONTEXT_STACK.get()
+    if stack is None:
+        stack = []
+        _CONTEXT_STACK.set(stack)
+    return stack
 
 
 def push_context(ctx: ExpandContext) -> None:
-    _CONTEXT_STACK.append(ctx)
+    _context_stack().append(ctx)
 
 
 def pop_context() -> None:
-    _CONTEXT_STACK.pop()
+    _context_stack().pop()
+
+
+def peek_context() -> Optional[ExpandContext]:
+    """The innermost active expansion context, or None outside a compile."""
+    stack = _CONTEXT_STACK.get()
+    return stack[-1] if stack else None
 
 
 def current_context() -> ExpandContext:
-    if not _CONTEXT_STACK:
+    stack = _CONTEXT_STACK.get()
+    if not stack:
         raise SyntaxExpansionError(
             "no expansion context active (compile-time primitive used at runtime?)"
         )
-    return _CONTEXT_STACK[-1]
+    return stack[-1]

@@ -240,11 +240,12 @@ def _lookup_named_type(name: str) -> Optional[Type]:
 
     Returns None when no compilation is active or the name is unknown.
     """
-    from repro.expander.env import _CONTEXT_STACK
+    from repro.expander.env import peek_context
 
-    if not _CONTEXT_STACK:
+    ctx = peek_context()
+    if ctx is None:
         return None
-    table = _CONTEXT_STACK[-1].stores.get(NAMED_TYPES_STORE)
+    table = ctx.stores.get(NAMED_TYPES_STORE)
     if table is None:
         return None
     return table.get(name)

@@ -66,6 +66,7 @@ import hashlib
 import io
 import os
 import pickle
+import threading
 import time
 import weakref
 from contextlib import suppress
@@ -127,6 +128,31 @@ ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 #: identity.
 _SCOPE_INTERN: "weakref.WeakValueDictionary[str, Scope]" = weakref.WeakValueDictionary()
 
+#: guards token minting and interning: two threads serializing (or loading)
+#: artifacts concurrently must agree on one token per scope object
+_INTERN_LOCK = threading.Lock()
+
+#: artifact files some thread of THIS process is currently compiling toward:
+#: file -> Event set when the winner publishes (or gives up). In-process
+#: losers wait on the event; cross-process losers watch the fcntl lock.
+_INFLIGHT: dict[str, threading.Event] = {}
+_INFLIGHT_LOCK = threading.Lock()
+
+
+def _pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe for a lock/tmp file's recorded PID."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, owned by another user
+        return True
+    except OSError:  # pragma: no cover - non-posix oddities
+        return False
+    return True
+
 
 def default_cache_dir() -> str:
     return os.environ.get(ENV_CACHE_DIR) or DEFAULT_CACHE_DIR
@@ -147,6 +173,11 @@ class _ArtifactPickler(pickle.Pickler):
         super().__init__(file, protocol=4)
         self._token_prefix = token_prefix
         self._seq = 0
+        # id(frozenset) -> its canonical pid; keeps one pid tuple per set
+        # object so pickle's memo preserves sharing (values also keep the
+        # sets alive, so ids stay unique for the pickler's lifetime)
+        self._scope_sets: dict[int, tuple] = {}
+        self._scope_sets_alive: list[frozenset] = []
 
     def persistent_id(self, obj: Any) -> Optional[tuple]:
         if isinstance(obj, Scope):
@@ -155,15 +186,48 @@ class _ArtifactPickler(pickle.Pickler):
             if obj.kind.startswith("lang:"):
                 return ("lang-scope", obj.kind[len("lang:"):])
             if obj.token is None:
-                self._seq += 1
-                obj.token = f"{self._token_prefix}#{self._seq}"
-                _SCOPE_INTERN[obj.token] = obj
+                with _INTERN_LOCK:
+                    if obj.token is None:  # re-check under the lock
+                        self._seq += 1
+                        obj.token = f"{self._token_prefix}#{self._seq}"
+                        _SCOPE_INTERN[obj.token] = obj
             return ("scope", obj.token, obj.kind)
         if isinstance(obj, Symbol):
             return ("sym", obj.name)
         if isinstance(obj, Keyword):
             return ("kw", obj.name)
+        # scope sets: frozensets iterate in hash (= address) order, so one
+        # pickled as-is bakes the process's allocation history into the
+        # artifact bytes — the same module compiled by two Runtimes (or a
+        # warm vs cold one) would differ byte-for-byte. Persistent-id is
+        # the one hook the C pickler consults for *every* object (its
+        # exact-type fast path skips reducer_override and dispatch_table
+        # for builtin frozensets), so scope sets become ("scopes", sorted
+        # tuple) pids and artifact bytes a pure function of content.
+        if type(obj) is frozenset and obj and all(
+            isinstance(s, Scope) for s in obj
+        ):
+            pid = self._scope_sets.get(id(obj))
+            if pid is None:
+                pid = ("scopes", tuple(sorted(obj, key=self._scope_order)))
+                self._scope_sets[id(obj)] = pid
+                self._scope_sets_alive.append(obj)
+            return pid
         return None
+
+    @staticmethod
+    def _scope_order(scope: Scope) -> tuple:
+        # a content-stable ordering: dependency scopes already carry tokens
+        # by the time a requiring module is stored; the module's own fresh
+        # scopes order by creation id, which is monotonic per compilation
+        # even when other threads are minting scopes concurrently
+        if scope.kind == "core":
+            return (0, "", 0)
+        if scope.kind.startswith("lang:"):
+            return (1, scope.kind, 0)
+        if scope.token is not None:
+            return (2, scope.token, 0)
+        return (3, "", scope.id)
 
 
 class _ArtifactUnpickler(pickle.Unpickler):
@@ -172,6 +236,8 @@ class _ArtifactUnpickler(pickle.Unpickler):
     def __init__(self, file: Any, registry: "ModuleRegistry") -> None:
         super().__init__(file)
         self._registry = registry
+        self._scope_sets: dict[int, frozenset] = {}
+        self._scope_sets_alive: list[tuple] = []
 
     def persistent_load(self, pid: tuple) -> Any:
         tag = pid[0]
@@ -188,16 +254,27 @@ class _ArtifactUnpickler(pickle.Unpickler):
             return lang.scope
         if tag == "scope":
             token, kind = pid[1], pid[2]
-            scope = _SCOPE_INTERN.get(token)
-            if scope is None:
-                scope = Scope(kind)
-                scope.token = token
-                _SCOPE_INTERN[token] = scope
+            with _INTERN_LOCK:
+                scope = _SCOPE_INTERN.get(token)
+                if scope is None:
+                    scope = Scope(kind)
+                    scope.token = token
+                    _SCOPE_INTERN[token] = scope
             return scope
         if tag == "sym":
             return Symbol(pid[1])
         if tag == "kw":
             return Keyword(pid[1])
+        if tag == "scopes":
+            # pid tuples are memo-shared by the pickler, so identical set
+            # occurrences arrive as the same tuple — rebuild one frozenset
+            # per tuple to restore the stored graph's sharing
+            cached = self._scope_sets.get(id(pid))
+            if cached is None:
+                cached = frozenset(pid[1])
+                self._scope_sets[id(pid)] = cached
+                self._scope_sets_alive.append(pid)
+            return cached
         raise pickle.UnpicklingError(f"unknown persistent id: {pid!r}")
 
 
@@ -214,6 +291,12 @@ class ModuleCache:
         self.disabled = False
         #: transient-I/O retries performed (chaos-suite observability)
         self.retries = 0
+        #: loads that blocked on a concurrent writer's lock and picked up
+        #: the winner's artifact instead of recompiling (wait-for-winner)
+        self.waits = 0
+        #: how long a load will wait for a live concurrent writer to
+        #: publish the artifact before giving up and compiling anyway
+        self.winner_timeout = 30.0
         self._dir_ok = False
 
     # -- paths and keys -----------------------------------------------------
@@ -343,14 +426,33 @@ class ModuleCache:
                 except OSError:
                     os.close(fd)
                     return None
+                self._stamp_lock(fd)
                 return (fd, lock_path)
             fd = os.open(  # pragma: no cover - non-posix fallback
                 lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644
             )
+            self._stamp_lock(fd)  # pragma: no cover
             return (fd, lock_path)  # pragma: no cover
         except FileExistsError:  # pragma: no cover - non-posix fallback
             return None
         except OSError:
+            return None
+
+    @staticmethod
+    def _stamp_lock(fd: int) -> None:
+        """Record the holder's PID in the lock file, so ``doctor`` can
+        report who holds a live lock instead of guessing."""
+        with suppress(OSError):
+            os.ftruncate(fd, 0)
+            os.write(fd, str(os.getpid()).encode("ascii"))
+
+    @staticmethod
+    def _lock_holder(lock_path: str) -> Optional[int]:
+        """The PID recorded in a lock file, or None when unreadable."""
+        try:
+            with open(lock_path, "rb") as f:
+                return int(f.read().strip() or b"-1")
+        except (OSError, ValueError):
             return None
 
     @staticmethod
@@ -377,6 +479,84 @@ class ModuleCache:
                 return False
         finally:
             os.close(fd)
+
+    # -- wait-for-winner (writer claims) -------------------------------------
+
+    def claim_writer(self, registry: "ModuleRegistry", path: str, lang: str):
+        """Claim the right to compile-and-store ``path``'s artifact.
+
+        Called after a cache miss, *before* compiling. Artifacts are
+        content-addressed, so two contexts compiling the same key would do
+        byte-identical work — one of them should wait instead:
+
+        - returns ``(claim, False)`` when this context won: it holds the
+          artifact's advisory lock for the whole compile+store, and must
+          hand ``claim`` to :meth:`store` and then :meth:`release_writer`;
+        - returns ``(None, True)`` when a concurrent winner (another
+          thread of this process, or a live lock-holding process) was
+          waited for and published the artifact — re-load it;
+        - returns ``(None, False)`` when there is nothing to coordinate
+          with (no live holder, an unattributable lock, a timeout, or a
+          disabled cache) — compile locally; the store degrades safely.
+        """
+        if self.disabled or not self._ensure_dir():
+            return None, False
+        file = self.artifact_path(path, lang, registry.source_hash(path))
+        lock = self._acquire_lock(file)
+        if lock is not None:
+            event = threading.Event()
+            with _INFLIGHT_LOCK:
+                _INFLIGHT[file] = event
+            return (file, lock, event), False
+        # contended. An in-process compile registers an in-flight event —
+        # wait on that (cheap, exact); otherwise fall back to watching a
+        # live foreign process's lock. A lock with no live in-flight entry
+        # and no (or our own) recorded PID is *unattributable* — somebody
+        # is holding the file but provably not compiling here — so
+        # compiling locally beats waiting for a phantom.
+        with _INFLIGHT_LOCK:
+            event = _INFLIGHT.get(file)
+        if event is not None:
+            if event.wait(self.winner_timeout) and os.path.exists(file):
+                self.waits += 1
+                self._instant("wait-winner", path)
+                return None, True
+            self._warn(
+                "C106",
+                f"timed out waiting {self.winner_timeout}s for a concurrent "
+                f"compile of {path}; compiling it here too",
+            )
+            return None, False
+        holder = self._lock_holder(f"{file}.lock")
+        if holder is None or holder == os.getpid() or not _pid_alive(holder):
+            return None, False
+        deadline = time.monotonic() + self.winner_timeout
+        while time.monotonic() < deadline:
+            if os.path.exists(file):
+                self.waits += 1
+                self._instant("wait-winner", path)
+                return None, True
+            lock_path = f"{file}.lock"
+            if not os.path.exists(lock_path) or self._lock_is_stale(lock_path):
+                # winner finished (artifact decides) or died (stale lock)
+                return None, os.path.exists(file)
+            time.sleep(0.01)
+        self._warn(
+            "C106",
+            f"timed out waiting {self.winner_timeout}s for process {holder} "
+            f"to publish the artifact for {path}; compiling it here too",
+        )
+        return None, False
+
+    def release_writer(self, claim: tuple) -> None:
+        """Release a winning :meth:`claim_writer` claim (always runs, even
+        when the compile failed — waiters re-check the artifact on wake)."""
+        file, lock, event = claim
+        with _INFLIGHT_LOCK:
+            if _INFLIGHT.get(file) is event:
+                del _INFLIGHT[file]
+        event.set()
+        self._release_lock(lock)
 
     # -- load ---------------------------------------------------------------
 
@@ -474,6 +654,7 @@ class ModuleCache:
         lang: str,
         module: "CompiledModule",
         full_key: str,
+        claim: Optional[tuple] = None,
     ) -> bool:
         """Write ``module``'s artifact; best-effort (False on failure).
 
@@ -482,6 +663,11 @@ class ModuleCache:
         bytes). Torn writes cannot surface: the envelope is fully
         serialized in memory, written to a temp file, and atomically
         renamed into place.
+
+        ``claim`` is a winning :meth:`claim_writer` claim already holding
+        the artifact's lock (the compile-and-store path); the store then
+        neither re-acquires nor releases it — :meth:`release_writer` does,
+        in the caller's ``finally``.
         """
         deps = []
         for dep_path in module.requires:
@@ -521,11 +707,14 @@ class ModuleCache:
             return False
         if not self._ensure_dir():
             return False
-        lock = self._acquire_lock(file)
-        if lock is None:
-            # another writer owns this content hash; its bytes are ours
-            self._instant("store-skipped", path)
-            return False
+        if claim is not None and claim[0] == file:
+            lock: Optional[tuple] = None  # already held; caller releases
+        else:
+            lock = self._acquire_lock(file)
+            if lock is None:
+                # another writer owns this content hash; its bytes are ours
+                self._instant("store-skipped", path)
+                return False
         try:
             # no existence short-circuit: the same source hash can hold a
             # *stale* artifact (a dependency's full key changed), and the
@@ -553,7 +742,8 @@ class ModuleCache:
                 os.unlink(tmp)
             return False
         finally:
-            self._release_lock(lock)
+            if lock is not None:
+                self._release_lock(lock)
         STATS.cache_stores += 1
         self._instant("store", path)
         return True
@@ -629,7 +819,7 @@ class ModuleCache:
         return report
 
     def doctor(self) -> dict:
-        """Scan and repair the cache directory.
+        """Scan and repair the cache directory — safe to run *mid-flight*.
 
         - validates every artifact's envelope (magic + checksum);
           invalid ones are quarantined;
@@ -637,10 +827,16 @@ class ModuleCache:
           historic magic with an intact checksum) are **reported**, not
           quarantined — they are stale, not corrupt;
         - removes torn-write debris (``*.tmp.*`` files left by a crash
-          between write and rename);
-        - removes stale lock files (no live holder).
+          between write and rename) — but only when the PID baked into the
+          name is dead; an in-flight writer's temp file is *reported*
+          (``tmp_live``), not yanked out from under it;
+        - removes stale lock files (no live holder); locks held by a live
+          process are **reported** (``locks_held``, with the holder's PID
+          from the lock stamp), never treated as a failure — so the doctor
+          can run concurrently with active compilations.
 
-        Returns a report dict; never raises for per-file problems.
+        Returns a report dict; never raises for per-file problems, and
+        live locks / live temp files do not count as errors.
         """
         report: dict[str, Any] = {
             "dir": self.dir,
@@ -649,7 +845,9 @@ class ModuleCache:
             "old_version": [],
             "quarantined": [],
             "tmp_removed": [],
+            "tmp_live": [],
             "locks_removed": [],
+            "locks_held": [],
             "errors": [],
         }
         try:
@@ -677,6 +875,10 @@ class ModuleCache:
                         (name, str(err), dest or "<unlinked>")
                     )
             elif ".tmp." in name:
+                writer = self._tmp_writer_pid(name)
+                if writer is not None and _pid_alive(writer):
+                    report["tmp_live"].append((name, writer))
+                    continue
                 try:
                     os.unlink(full)
                     report["tmp_removed"].append(name)
@@ -689,4 +891,14 @@ class ModuleCache:
                         report["locks_removed"].append(name)
                     except OSError as err:
                         report["errors"].append(f"cannot remove {name}: {err}")
+                else:
+                    report["locks_held"].append((name, self._lock_holder(full)))
         return report
+
+    @staticmethod
+    def _tmp_writer_pid(name: str) -> Optional[int]:
+        """The writer PID baked into a ``<hash>.zo.tmp.<pid>`` name."""
+        try:
+            return int(name.rsplit(".tmp.", 1)[1])
+        except (IndexError, ValueError):
+            return None

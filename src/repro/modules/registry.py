@@ -40,10 +40,17 @@ def canonical_path(filename: str) -> str:
     case-insensitive filesystems. Without this the same file reached two
     ways registered — and instantiated — twice (``abspath`` alone keeps
     symlinks distinct). The import hook (:mod:`repro.importer`) relies on
-    this being a pure function of the file's identity."""
-    import os
+    this being a pure function of the file's identity.
 
-    return os.path.normcase(os.path.realpath(filename))
+    The result is interned: artifact serialization depends on every
+    occurrence of a module path within one pickling being the *same*
+    string object (pickle shares via identity memoization), which is what
+    makes artifacts byte-identical whether a dependency was compiled
+    in-process or loaded from another worker's artifact."""
+    import os
+    import sys
+
+    return sys.intern(os.path.normcase(os.path.realpath(filename)))
 
 
 class Export:
@@ -159,9 +166,16 @@ class CompiledModule:
         return state
 
     def __setstate__(self, state: dict) -> None:
+        import sys
+
         self.__dict__.update(state)
         # artifacts from before the pyc backend lack the attribute
         self.__dict__.setdefault("pyc", None)
+        # re-intern paths (see canonical_path): keeps pickle identity
+        # sharing — and hence artifact bytes — equal between natively
+        # compiled and artifact-loaded dependency graphs
+        self.path = sys.intern(self.path)
+        self.requires = [sys.intern(r) for r in self.requires]
 
     def __repr__(self) -> str:
         return f"#<compiled-module {self.path}>"
@@ -236,7 +250,21 @@ class Language:
         return f"#<language {self.name}>"
 
 
+#: process-wide kernel export snapshot. Computed exactly once: several
+#: language installers register extra primitives lazily (promises, structs,
+#: typed prims, datalog), so a registry built *after* another Runtime saw a
+#: larger PRIMITIVES table than the process's first registry did — which
+#: made compiled artifacts differ byte-for-byte between the first and later
+#: Runtimes (and between a parallel compile worker's fresh process and a
+#: warm parent). One shared snapshot makes every registry — any Runtime,
+#: any process — agree on the kernel environment.
+_KERNEL_EXPORTS: Optional[dict[str, Export]] = None
+
+
 def _kernel_exports() -> dict[str, Export]:
+    global _KERNEL_EXPORTS
+    if _KERNEL_EXPORTS is not None:
+        return _KERNEL_EXPORTS
     exports: dict[str, Export] = {}
     for name, binding in CORE_FORMS.items():
         exports[name] = Export(name, binding)
@@ -254,6 +282,7 @@ def _kernel_exports() -> dict[str, Export]:
         ModuleBinding(KERNEL_PATH, Symbol("quasisyntax")),
         transformer=expand_quasisyntax,
     )
+    _KERNEL_EXPORTS = exports
     return exports
 
 
@@ -427,20 +456,36 @@ class ModuleRegistry:
         # the freshly compiled dependencies, whose macro-template bindings
         # it removes, so a retry recompiles them from scratch. Cache loads
         # run inside the same transaction, so a failure after a load also
-        # rolls the loaded fragments back.
+        # rolls the loaded fragments back. The rollback is a precise
+        # transaction log (this context's additions only), so a concurrent
+        # Runtime compiling on another thread is never collateral damage.
         transactional = not self._compiling
         if transactional:
-            table_snapshot = TABLE.snapshot()
+            txn = TABLE.transaction()
+            txn.__enter__()
             compiled_before = set(self.compiled)
         from repro.observe.recorder import current_recorder
 
         rec = current_recorder()
         self._compiling.append(path)
+        claim = None
         try:
             compiled = None
             if self.cache is not None:
                 with rec.span("cache", f"load {path}"):
                     compiled = self.cache.load(self, path, lang_name)
+                if compiled is None:
+                    # wait-for-winner: claim the artifact before compiling.
+                    # A concurrent context already compiling this exact
+                    # content key is about to publish byte-identical
+                    # artifacts — wait for it and re-load rather than
+                    # duplicating the compile.
+                    claim, winner_published = self.cache.claim_writer(
+                        self, path, lang_name
+                    )
+                    if winner_published:
+                        with rec.span("cache", f"load {path}"):
+                            compiled = self.cache.load(self, path, lang_name)
             if compiled is None:
                 compiled = compile_module(self, path, lang_name, forms)
                 self._full_keys[path] = self._compute_full_key(
@@ -453,7 +498,8 @@ class ModuleRegistry:
                 if self.cache is not None:
                     with rec.span("cache", f"store {path}"):
                         self.cache.store(
-                            self, path, lang_name, compiled, self._full_keys[path]
+                            self, path, lang_name, compiled,
+                            self._full_keys[path], claim=claim,
                         )
             elif self.backend == "pyc":
                 # cache hit from an interp-only (or other-Python) session:
@@ -461,15 +507,34 @@ class ModuleRegistry:
                 self.ensure_pyc_unit(compiled)
         except BaseException:
             if transactional:
-                TABLE.restore(table_snapshot)
+                txn.rollback()
                 for newly in set(self.compiled) - compiled_before:
                     del self.compiled[newly]
                     self._full_keys.pop(newly, None)
             raise
         finally:
+            if claim is not None:
+                self.cache.release_writer(claim)
             self._compiling.pop()
+            if transactional:
+                txn.__exit__(None, None, None)
         self.compiled[path] = compiled
         return compiled
+
+    def compile_graph(
+        self,
+        paths: list[str],
+        *,
+        jobs: Optional[int] = None,
+        mode: Optional[str] = None,
+    ) -> Any:
+        """Compile a module graph, fanning independent modules across a
+        worker pool coordinated through the artifact cache; returns a
+        :class:`repro.modules.graph.GraphReport`. See
+        :func:`repro.modules.graph.compile_graph`."""
+        from repro.modules.graph import compile_graph
+
+        return compile_graph(self, paths, jobs=jobs, mode=mode)
 
     def ensure_pyc_unit(self, compiled: "CompiledModule", *, store: bool = True):
         """The module's pyc code-object unit, generating it when missing or
@@ -572,15 +637,17 @@ class ModuleRegistry:
         ``relative_to`` is the requiring module's path; unresolvable specs
         name it (and the require form's location) in the error.
         """
+        import sys
+
         if spec in self.sources or spec in self.compiled:
-            return spec
+            return sys.intern(spec)
         if relative_to is not None:
             import os
 
             base = os.path.dirname(relative_to)
             candidate = os.path.normpath(os.path.join(base, spec))
             if candidate in self.sources:
-                return candidate
+                return sys.intern(candidate)
             if os.path.exists(candidate):
                 return canonical_path(candidate)
         import os

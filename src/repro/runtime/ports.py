@@ -3,12 +3,20 @@
 The object language's ``display``/``printf`` write to the *current output
 port*, a dynamically scoped stack so tests and the benchmark harness can
 capture program output.
+
+The stack is context-local (a :class:`~contextvars.ContextVar`, like the
+binding table's recorder and transaction stacks): concurrent
+``Runtime.run`` calls on different threads — e.g. two ``repro serve``
+requests — each capture their own program's output. A shared list here
+let one request's ``displayln`` land in whichever capture was pushed
+last, across tenants.
 """
 
 from __future__ import annotations
 
 import sys
 from contextlib import contextmanager
+from contextvars import ContextVar
 from io import StringIO
 from typing import Iterator
 
@@ -41,19 +49,26 @@ class StringPort(OutputPort):
         return self.buffer.getvalue()
 
 
-_PORT_STACK: list[OutputPort] = [StdoutPort()]
+_STDOUT = StdoutPort()
+
+# immutable tuple per context: pushes build a new tuple, so a concurrent
+# reader in another context never observes a half-mutated stack
+_PORT_STACK: ContextVar[tuple[OutputPort, ...]] = ContextVar(
+    "repro-output-ports", default=()
+)
 
 
 def current_output_port() -> OutputPort:
-    return _PORT_STACK[-1]
+    stack = _PORT_STACK.get()
+    return stack[-1] if stack else _STDOUT
 
 
 @contextmanager
 def capture_output() -> Iterator[StringPort]:
-    """Redirect object-language output into a string port."""
+    """Redirect object-language output into a string port (context-local)."""
     port = StringPort()
-    _PORT_STACK.append(port)
+    token = _PORT_STACK.set(_PORT_STACK.get() + (port,))
     try:
         yield port
     finally:
-        _PORT_STACK.pop()
+        _PORT_STACK.reset(token)

@@ -38,6 +38,26 @@ existing callers: it is a transparent alias that reads and writes the
 falling back to the stats of the most recently created Runtime (so test
 code that runs a module and then inspects ``STATS`` keeps seeing that
 run's counters).
+
+Thread-safety contract (audited for the concurrency layer, ISSUE 9):
+
+- **Inside a Runtime operation** the alias resolves through a
+  ``contextvars.ContextVar`` set by :func:`use_stats`. Context variables
+  are per-thread (and per-task), so N threads driving N Runtimes each
+  charge their own counters — this is the path every pipeline call site
+  (expander, cache, backends) uses, and it is race-free by construction.
+- **The ambient fallback is last-writer-wins** across threads: both
+  Runtime construction and :func:`use_stats` overwrite the one-element
+  ``_AMBIENT`` cell. It exists only so *sequential* scripts can read
+  ``STATS`` after an operation returns; concurrent code must read
+  ``rt.stats`` (each Runtime's own instance) instead. The cell is a
+  single-slot list, so the overwrite itself is atomic under the GIL —
+  torn reads are impossible, you just may see a sibling thread's Runtime.
+- Individual counter bumps (``stats.cache_hits += 1``) are not atomic in
+  general, but every mutation happens on the *operation's own* Stats
+  object resolved via the contextvar, so two threads never increment the
+  same instance unless the caller deliberately shares one Runtime across
+  threads — which the Runtime API does not support (see DESIGN §11).
 """
 
 from __future__ import annotations

@@ -1,0 +1,13 @@
+"""``repro serve`` — compile-and-eval as a long-lived service.
+
+The server (:class:`ReproServer`) accepts JSON requests over HTTP to
+compile and run ``#lang`` modules, with per-tenant Runtime pools, a
+resource budget (steps + wall-clock + depth) enforced per request, and
+per-request observe spans on the event bus. See :mod:`repro.serve.server`
+for the protocol.
+"""
+
+from repro.serve.pool import RuntimePool
+from repro.serve.server import ReproServer, serve_command
+
+__all__ = ["ReproServer", "RuntimePool", "serve_command"]

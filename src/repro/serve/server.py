@@ -1,0 +1,517 @@
+"""The ``repro serve`` HTTP server.
+
+A long-lived compile-and-eval service over the library Runtime: a
+stdlib :class:`ThreadingHTTPServer` (one thread per request) in front of
+per-tenant Runtime pools (:mod:`repro.serve.pool`), the shared artifact
+cache, per-request resource budgets, and per-request spans on the observe
+event bus.
+
+Protocol (all bodies JSON):
+
+``POST /run``
+    ``{"source": "#lang ...", "tenant": "t1", "budget": {"steps": N,
+    "seconds": S, "max_depth": D}}`` — register the source as an anonymous
+    module, compile and run it, return its output. The module is evicted
+    after the request; its *dependencies'* artifacts stay warm in the
+    shared cache. Response: ``{"ok": true, "output": ..., "stats": {...},
+    "elapsed_ms": ...}``, or ``{"ok": false, "error": {"code": "G001",
+    "message": ...}}`` — a budget kill is a well-formed response, not a
+    dropped connection.
+
+``POST /compile``
+    Either ``{"source": ...}`` (anonymous module, reports diagnostics
+    without running) or ``{"paths": [...], "jobs": N, "mode": ...}`` — a
+    parallel module-graph compilation (:mod:`repro.modules.graph`) whose
+    artifacts land in the shared cache for every later request.
+
+``GET /healthz``
+    Liveness: ``{"ok": true, "uptime_s": ..., "requests": ...}``.
+
+``GET /stats``
+    Service counters: requests per endpoint, budget kills by G-code,
+    cache-degradation warnings observed, pool occupancy.
+
+Error semantics: platform errors (parse, expansion, type, module, budget,
+contract) come back as ``ok: false`` with the error's stable code — HTTP
+status stays 200 because the *service* worked; 400/404/405 are reserved
+for malformed requests. Cache degradation (e.g. an injected fault or a
+corrupt artifact) never fails a request: the pipeline recompiles from
+source and the response carries the C-coded warnings in
+``"diagnostics"``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Optional
+
+from repro.errors import ReproError
+from repro.guard.budget import resolve_budget
+from repro.observe.recorder import current_recorder, use_recorder
+from repro.serve.pool import RuntimePool
+
+_REQ_IDS = itertools.count(1)
+
+#: budget keys a request may set; anything else in "budget" is rejected
+_BUDGET_KEYS = frozenset({"steps", "seconds", "max_depth", "allocations"})
+
+_NUMERIC_STATS = (
+    "expansion_steps", "eval_steps", "cache_hits", "cache_misses",
+    "cache_stores", "cache_invalidations", "pyc_codegens",
+)
+
+
+class _BadRequest(Exception):
+    """A malformed request (HTTP 400)."""
+
+
+class ReproServer:
+    """The service: construct, :meth:`start`, speak JSON, :meth:`stop`.
+
+    ``port=0`` binds an ephemeral port (read it back from ``.address``
+    after start) — the mode the tests and the benchmark use.
+    ``default_budget`` is a budget dict applied to requests that don't
+    send their own (None = ungoverned by default).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        cache_dir: Optional[str] = None,
+        backend: Optional[str] = None,
+        trace: Any = None,
+        default_budget: Optional[dict[str, Any]] = None,
+        max_idle: int = 4,
+    ) -> None:
+        self.pool = RuntimePool(
+            cache_dir=cache_dir, backend=backend, trace=trace, max_idle=max_idle
+        )
+        self.default_budget = dict(default_budget) if default_budget else None
+        self._host = host
+        self._port = port
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = 0.0
+        self._stats_lock = threading.Lock()
+        self.requests: dict[str, int] = {}
+        self.budget_kills: dict[str, int] = {}
+        self.errors = 0
+        self.warnings = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        if self._httpd is None:
+            return (self._host, self._port)
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> tuple[str, int]:
+        """Bind and serve on a daemon thread; returns ``(host, port)``."""
+        if self._httpd is not None:
+            return self.address
+        server = self
+
+        class Handler(_Handler):
+            repro_server = server
+
+        self._httpd = ThreadingHTTPServer((self._host, self._port), Handler)
+        self._httpd.daemon_threads = True
+        self._started = time.monotonic()
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        return self.address
+
+    def stop(self) -> None:
+        """Shut down the listener and close every pooled Runtime."""
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+        self.pool.close()
+
+    def __enter__(self) -> "ReproServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+    # -- accounting ---------------------------------------------------------
+
+    def _count(self, endpoint: str) -> None:
+        with self._stats_lock:
+            self.requests[endpoint] = self.requests.get(endpoint, 0) + 1
+
+    def _count_kill(self, code: str) -> None:
+        with self._stats_lock:
+            self.budget_kills[code] = self.budget_kills.get(code, 0) + 1
+
+    # -- request handlers ---------------------------------------------------
+
+    def handle(self, method: str, path: str, body: Optional[dict]) -> tuple[int, dict]:
+        """Route one request; returns ``(http_status, json_payload)``.
+
+        Usable directly (no HTTP) — the benchmark's in-process mode and
+        the tests go through here.
+        """
+        if method == "GET" and path == "/healthz":
+            self._count("healthz")
+            return 200, {
+                "ok": True,
+                "uptime_s": round(time.monotonic() - self._started, 3),
+                "requests": sum(self.requests.values()),
+            }
+        if method == "GET" and path == "/stats":
+            self._count("stats")
+            return 200, self._stats_payload()
+        if method == "POST" and path == "/run":
+            self._count("run")
+            return self._compile_or_run(body, run=True)
+        if method == "POST" and path == "/compile":
+            self._count("compile")
+            if body is not None and "paths" in body:
+                return self._compile_graph(body)
+            return self._compile_or_run(body, run=False)
+        if path in ("/run", "/compile", "/healthz", "/stats"):
+            return 405, {"ok": False, "error": {"code": "S405", "message": f"method {method} not allowed for {path}"}}
+        return 404, {"ok": False, "error": {"code": "S404", "message": f"no such endpoint: {path}"}}
+
+    def _stats_payload(self) -> dict:
+        with self._stats_lock:
+            payload = {
+                "ok": True,
+                "requests": dict(self.requests),
+                "budget_kills": dict(self.budget_kills),
+                "errors": self.errors,
+                "warnings": self.warnings,
+            }
+        payload["pools"] = self.pool.sizes()
+        payload["runtimes"] = {
+            "created": self.pool.created, "reused": self.pool.reused,
+        }
+        return payload
+
+    def _budget_of(self, body: dict) -> Any:
+        spec = body.get("budget", None)
+        if spec is None:
+            spec = self.default_budget
+        if spec is None:
+            return None
+        if not isinstance(spec, dict):
+            raise _BadRequest("budget must be an object")
+        unknown = set(spec) - _BUDGET_KEYS
+        if unknown:
+            raise _BadRequest(
+                f"unknown budget keys: {', '.join(sorted(unknown))}"
+            )
+        try:
+            return resolve_budget(dict(spec))
+        except (TypeError, ValueError) as err:
+            raise _BadRequest(f"bad budget: {err}") from None
+
+    def _compile_or_run(self, body: Optional[dict], *, run: bool) -> tuple[int, dict]:
+        if not isinstance(body, dict):
+            raise _BadRequest("request body must be a JSON object")
+        source = body.get("source")
+        file = body.get("path")
+        if (source is None) == (file is None):
+            raise _BadRequest('exactly one of "source" or "path" is required')
+        if source is not None and not isinstance(source, str):
+            raise _BadRequest('"source" must be a string')
+        if file is not None and not isinstance(file, str):
+            raise _BadRequest('"path" must be a string')
+        tenant = body.get("tenant", "default")
+        if not isinstance(tenant, str) or not tenant:
+            raise _BadRequest('"tenant" must be a non-empty string')
+        budget = self._budget_of(body)
+
+        req = next(_REQ_IDS)
+        endpoint = "run" if run else "compile"
+        rt = self.pool.checkout(tenant)
+        module_path: Optional[str] = None
+        t0 = time.perf_counter()
+        rec = rt.tracer if rt.tracer is not None else current_recorder()
+        try:
+            with use_recorder(rec), rec.span("serve", f"{endpoint} #{req} tenant={tenant}"):
+                rt.budget = budget
+                before = rt.stats.snapshot()
+                diags_before = len(rt.cache.diagnostics) if rt.cache else 0
+                try:
+                    if source is not None:
+                        # content-derived path: the module path is part of
+                        # the artifact key, so naming anonymous modules
+                        # after their source makes a repeated request a
+                        # warm cache hit for every tenant
+                        import hashlib
+
+                        digest = hashlib.sha256(source.encode("utf-8"))
+                        module_path = f"<serve:{digest.hexdigest()[:24]}>"
+                        rt.register_module(module_path, source)
+                    else:
+                        module_path = rt.register_file(file)
+                    if run:
+                        output: Optional[str] = rt.run(module_path)
+                    else:
+                        output = None
+                        rt.compile(module_path)
+                except ReproError as err:
+                    code = getattr(err, "code", None) or "X001"
+                    if code.startswith("G"):
+                        self._count_kill(code)
+                    with self._stats_lock:
+                        self.errors += 1
+                    return 200, self._finish(
+                        rt, tenant, module_path, source is not None, t0, before,
+                        diags_before,
+                        ok=False,
+                        error={"code": code, "message": str(err)},
+                    )
+                except OSError as err:
+                    with self._stats_lock:
+                        self.errors += 1
+                    return 200, self._finish(
+                        rt, tenant, module_path, source is not None, t0, before,
+                        diags_before,
+                        ok=False,
+                        error={"code": "S500", "message": f"cannot read {file}: {err.strerror or err}"},
+                    )
+                payload: dict[str, Any] = {}
+                if run:
+                    payload["output"] = output
+                return 200, self._finish(
+                    rt, tenant, module_path, source is not None, t0, before,
+                    diags_before, ok=True, **payload,
+                )
+        finally:
+            self.pool.checkin(tenant, rt)
+
+    def _finish(
+        self,
+        rt: Any,
+        tenant: str,
+        module_path: Optional[str],
+        anonymous: bool,
+        t0: float,
+        before: dict,
+        diags_before: int,
+        *,
+        ok: bool,
+        error: Optional[dict] = None,
+        **extra: Any,
+    ) -> dict:
+        # per-request stats: the runtime's counters are cumulative across
+        # the requests it has served, so report the delta
+        after = rt.stats.snapshot()
+        stats = {k: after[k] - before[k] for k in _NUMERIC_STATS}
+        diagnostics: list[str] = []
+        if rt.cache is not None:
+            fresh = rt.cache.diagnostics[diags_before:]
+            diagnostics = [str(d) for d in fresh]
+            if fresh:
+                with self._stats_lock:
+                    self.warnings += len(fresh)
+        if anonymous and module_path is not None:
+            # the request's module must not accumulate in the pooled
+            # runtime; its dependencies stay compiled (that's the warmth)
+            rt.registry.evict_module(module_path)
+            rt.registry.sources.pop(module_path, None)
+            rt.registry._source_hashes.pop(module_path, None)
+        result: dict[str, Any] = {
+            "ok": ok,
+            "tenant": tenant,
+            "elapsed_ms": round((time.perf_counter() - t0) * 1000, 3),
+            "stats": stats,
+        }
+        if error is not None:
+            result["error"] = error
+        if diagnostics:
+            result["diagnostics"] = diagnostics
+        result.update(extra)
+        return result
+
+    def _compile_graph(self, body: dict) -> tuple[int, dict]:
+        paths = body.get("paths")
+        if not isinstance(paths, list) or not all(isinstance(p, str) for p in paths):
+            raise _BadRequest('"paths" must be a list of strings')
+        jobs = body.get("jobs", 1)
+        if not isinstance(jobs, int) or jobs < 1:
+            raise _BadRequest('"jobs" must be a positive integer')
+        mode = body.get("mode")
+        if mode is not None and mode not in ("serial", "process", "thread"):
+            raise _BadRequest('"mode" must be serial, process, or thread')
+        tenant = body.get("tenant", "default")
+        if not isinstance(tenant, str) or not tenant:
+            raise _BadRequest('"tenant" must be a non-empty string')
+        rt = self.pool.checkout(tenant)
+        t0 = time.perf_counter()
+        try:
+            try:
+                report = rt.compile_graph(paths, jobs=jobs, mode=mode)
+            except (ReproError, ValueError) as err:
+                with self._stats_lock:
+                    self.errors += 1
+                code = getattr(err, "code", None) or "X001"
+                return 200, {
+                    "ok": False, "tenant": tenant,
+                    "elapsed_ms": round((time.perf_counter() - t0) * 1000, 3),
+                    "error": {"code": code, "message": str(err)},
+                }
+            snap = report.snapshot()
+            snap["ok"] = report.ok
+            snap["tenant"] = tenant
+            snap["elapsed_ms"] = round((time.perf_counter() - t0) * 1000, 3)
+            if not report.ok:
+                with self._stats_lock:
+                    self.errors += 1
+                snap["error"] = {
+                    "code": "X100",
+                    "message": "; ".join(
+                        f"{p}: {msg}" for p, msg in sorted(report.errors.items())
+                    ),
+                }
+            return 200, snap
+        finally:
+            self.pool.checkin(tenant, rt)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Thin HTTP shim over :meth:`ReproServer.handle`."""
+
+    repro_server: ReproServer  # set by the subclass ReproServer.start builds
+    protocol_version = "HTTP/1.1"
+
+    # silence the default stderr access log (the service has /stats)
+    def log_message(self, format: str, *args: Any) -> None:
+        pass
+
+    def _reply(self, status: int, payload: dict) -> None:
+        data = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _dispatch(self, method: str, body: Optional[dict]) -> None:
+        try:
+            status, payload = self.repro_server.handle(method, self.path, body)
+        except _BadRequest as err:
+            status, payload = 400, {
+                "ok": False, "error": {"code": "S400", "message": str(err)}
+            }
+        except Exception as err:  # never leak a stack trace as a hung socket
+            status, payload = 500, {
+                "ok": False,
+                "error": {"code": "S500", "message": f"{type(err).__name__}: {err}"},
+            }
+        self._reply(status, payload)
+
+    def do_GET(self) -> None:
+        self._dispatch("GET", None)
+
+    def do_POST(self) -> None:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        try:
+            body = json.loads(raw.decode("utf-8")) if raw else None
+        except (ValueError, UnicodeDecodeError):
+            self._reply(400, {
+                "ok": False,
+                "error": {"code": "S400", "message": "request body is not valid JSON"},
+            })
+            return
+        self._dispatch("POST", body)
+
+
+def serve_command(args: list[str]) -> int:
+    """``repro serve [--host H] [--port P] [--backend B] [--cache-dir D]
+    [--steps N] [--time-limit S] [--max-depth N]`` — run the service until
+    interrupted. Budget flags set the *default* per-request budget; a
+    request's own "budget" object overrides it."""
+    import sys
+
+    host, port = "127.0.0.1", 8737
+    backend: Optional[str] = None
+    cache_dir: Optional[str] = None
+    budget: dict[str, Any] = {}
+    flags = {
+        "--host": ("host", str), "--port": ("port", int),
+        "--backend": ("backend", str), "--cache-dir": ("cache_dir", str),
+        "--steps": ("steps", int), "--time-limit": ("seconds", float),
+        "--max-depth": ("max_depth", int),
+    }
+    i = 0
+    while i < len(args):
+        arg = args[i]
+        name, raw = arg, None
+        if "=" in arg:
+            name, _, raw = arg.partition("=")
+        if name not in flags:
+            print(f"error: unknown serve option: {arg}", file=sys.stderr)
+            return 2
+        if raw is None:
+            if i + 1 >= len(args):
+                print(f"error: {name} requires a value", file=sys.stderr)
+                return 2
+            i += 1
+            raw = args[i]
+        key, convert = flags[name]
+        try:
+            value = convert(raw)
+        except ValueError:
+            print(f"error: {name} requires {convert.__name__}, got {raw!r}",
+                  file=sys.stderr)
+            return 2
+        if key == "host":
+            host = value
+        elif key == "port":
+            port = value
+        elif key == "backend":
+            backend = value
+        elif key == "cache_dir":
+            cache_dir = value
+        else:
+            budget[key] = value
+        i += 1
+    from repro.modules.cache import default_cache_dir
+
+    server = ReproServer(
+        host, port,
+        cache_dir=cache_dir or default_cache_dir(),
+        backend=backend,
+        default_budget=budget or None,
+    )
+    try:
+        bound_host, bound_port = server.start()
+    except OSError as err:
+        print(f"error: cannot bind {host}:{port}: {err.strerror or err}",
+              file=sys.stderr)
+        return 1
+    print(f"repro serve listening on http://{bound_host}:{bound_port} "
+          f"(backend={backend or 'interp'}, cache={server.pool.cache_dir})",
+          file=sys.stderr)
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        server.stop()
+    return 0

@@ -21,6 +21,10 @@ Two binding flavours exist:
 
 from __future__ import annotations
 
+import contextvars
+import itertools
+import sys
+import threading
 from typing import Any, Optional
 
 from repro.errors import AmbiguousBindingError, UnboundIdentifierError
@@ -38,12 +42,14 @@ class Binding:
 
 class LocalBinding(Binding):
     __slots__ = ("name", "uid")
-    _counter = 0
+    #: uid source; itertools.count().__next__ is atomic under the GIL, so
+    #: concurrent Runtimes on different threads never mint colliding uids
+    #: (the old ``_counter += 1`` read-modify-write could)
+    _counter = itertools.count(1)
 
     def __init__(self, name: Symbol) -> None:
-        LocalBinding._counter += 1
         self.name = name
-        self.uid = LocalBinding._counter
+        self.uid = next(LocalBinding._counter)
 
     def key(self) -> Any:
         return ("local", self.uid)
@@ -64,12 +70,21 @@ class ModuleBinding(Binding):
     __slots__ = ("module_path", "name", "phase")
 
     def __init__(self, module_path: str, name: Symbol, phase: int = 0) -> None:
-        self.module_path = module_path
+        # interned so every in-memory occurrence of a module path is one
+        # string object — pickle's identity memo then shares it, keeping
+        # artifact bytes identical whether the binding was built natively
+        # or unpickled from a dependency's artifact
+        self.module_path = sys.intern(module_path)
         self.name = name
         self.phase = phase
 
     def key(self) -> Any:
         return ("module", self.module_path, self.name.name, self.phase)
+
+    def __reduce__(self):
+        # route unpickling through __init__, so a loaded binding's path is
+        # re-interned in this process
+        return (ModuleBinding, (self.module_path, self.name, self.phase))
 
     def __repr__(self) -> str:
         return f"#<module-binding:{self.module_path}:{self.name}>"
@@ -104,19 +119,70 @@ TableEntry = tuple[Symbol, int, ScopeSet, Binding]
 
 
 class BindingTable:
-    """The global (symbol, phase) -> [(scope set, binding)] table."""
+    """The global (symbol, phase) -> [(scope set, binding)] table.
+
+    Thread-safety (one table is shared by every Runtime in the process):
+
+    - **Readers never lock.** :meth:`resolve` grabs a bucket reference and
+      iterates it; concurrent appends are safe under the GIL, and the
+      removal paths are *copy-on-write* (they build a new list and swap it
+      in), so an in-flight reader keeps iterating a consistent snapshot.
+    - **Writers serialize** on ``_lock`` — without it, a bucket rebuilt by
+      one thread's :meth:`remove_entries` could silently drop an entry a
+      second thread appended between the rebuild and the swap.
+    - **Recorders are context-local.** The fragment-recorder stack lives in
+      a contextvar, so two modules compiling on two threads each capture
+      exactly their own additions (a process-global stack handed thread
+      A's bindings to whichever thread pushed a recorder last).
+    """
 
     def __init__(self) -> None:
         self._entries: dict[tuple[Symbol, int], list[tuple[ScopeSet, Binding]]] = {}
+        #: serializes structural mutation (add/install/remove/release);
+        #: reads stay lock-free
+        self._lock = threading.RLock()
         #: active addition recorders, innermost last; only the innermost
         #: records, so nested module compilations each capture exactly
-        #: their own additions
-        self._recorders: list[list[TableEntry]] = []
+        #: their own additions. Context-local: each thread/task compiling
+        #: concurrently sees only its own stack.
+        self._recorders: "contextvars.ContextVar[Optional[list[list[TableEntry]]]]" = (
+            contextvars.ContextVar("repro_table_recorders", default=None)
+        )
+        #: active *transaction logs*, also context-local. Unlike fragment
+        #: recorders, every add/install in the dynamic extent lands in every
+        #: active log (nesting included): a failed outermost compilation
+        #: rolls back by removing exactly the entries it logged, never by
+        #: truncating buckets to a snapshotted length (which would destroy
+        #: entries a concurrent thread appended in the meantime).
+        self._txn_logs: "contextvars.ContextVar[Optional[list[list[TableEntry]]]]" = (
+            contextvars.ContextVar("repro_table_txn_logs", default=None)
+        )
+
+    def _recorder_stack(self) -> list[list[TableEntry]]:
+        stack = self._recorders.get()
+        if stack is None:
+            stack = []
+            self._recorders.set(stack)
+        return stack
+
+    def _txn_stack(self) -> list[list[TableEntry]]:
+        stack = self._txn_logs.get()
+        if stack is None:
+            stack = []
+            self._txn_logs.set(stack)
+        return stack
 
     def add(self, name: Symbol, scopes: ScopeSet, binding: Binding, phase: int = 0) -> None:
-        self._entries.setdefault((name, phase), []).append((scopes, binding))
-        if self._recorders:
-            self._recorders[-1].append((name, phase, scopes, binding))
+        with self._lock:
+            self._entries.setdefault((name, phase), []).append((scopes, binding))
+        recorders = self._recorders.get()
+        if recorders:
+            recorders[-1].append((name, phase, scopes, binding))
+        logs = self._txn_logs.get()
+        if logs:
+            entry = (name, phase, scopes, binding)
+            for log in logs:
+                log.append(entry)
 
     def bind_identifier(self, ident: Syntax, binding: Binding, phase: int = 0) -> None:
         if not ident.is_identifier():
@@ -152,22 +218,21 @@ class BindingTable:
     # -- transactional compilation -----------------------------------------
 
     def snapshot(self) -> dict[tuple[Symbol, int], int]:
-        """An O(keys) snapshot of the table's shape.
+        """An O(keys) snapshot of the table's shape (diagnostic use only —
+        rollback is transaction-log based, see :meth:`transaction`)."""
+        with self._lock:
+            return {key: len(entries) for key, entries in self._entries.items()}
 
-        Entries are only ever *appended* (never mutated in place), so the
-        length of each entry list fully determines the table's state; a
-        failed compilation rolls back by truncating (see :meth:`restore`).
+    def transaction(self) -> "_Transaction":
+        """Log every addition (add *and* install_entries) made in this
+        context while active; ``rollback()`` removes exactly those entries.
+
+        Replaces the earlier snapshot/length-truncation rollback, which was
+        not safe under concurrent Runtimes: truncating a bucket to its
+        snapshotted length also destroyed entries another thread appended
+        after the snapshot. The log removes only this context's additions.
         """
-        return {key: len(entries) for key, entries in self._entries.items()}
-
-    def restore(self, snap: dict[tuple[Symbol, int], int]) -> None:
-        """Roll the table back to a snapshot, dropping newer additions."""
-        for key in [k for k in self._entries if k not in snap]:
-            del self._entries[key]
-        for key, length in snap.items():
-            entries = self._entries.get(key)
-            if entries is not None and len(entries) > length:
-                del entries[length:]
+        return _Transaction(self)
 
     def resolve_or_raise(self, ident: Syntax, phase: int = 0) -> Binding:
         binding = self.resolve(ident, phase)
@@ -192,29 +257,40 @@ class BindingTable:
 
         Used when loading a compiled artifact: the loaded module's bindings
         must not be charged to whichever module's compilation triggered the
-        load.
+        load. Installed entries *are* logged to active transactions, so a
+        compilation that fails after a cache load rolls the load back too.
         """
-        for name, phase, scopes, binding in entries:
-            self._entries.setdefault((name, phase), []).append((scopes, binding))
+        with self._lock:
+            for name, phase, scopes, binding in entries:
+                self._entries.setdefault((name, phase), []).append((scopes, binding))
+        logs = self._txn_logs.get()
+        if logs:
+            for log in logs:
+                log.extend(entries)
 
     def remove_entries(self, entries: list[TableEntry]) -> int:
         """Remove previously recorded additions; returns how many were found.
 
         Entries already gone (e.g. dropped by a transactional rollback) are
-        skipped silently.
+        skipped silently. Buckets are rebuilt, not mutated in place, so a
+        concurrent lock-free reader keeps a consistent view.
         """
         removed = 0
-        for name, phase, scopes, binding in entries:
-            bucket = self._entries.get((name, phase))
-            if not bucket:
-                continue
-            try:
-                bucket.remove((scopes, binding))
+        with self._lock:
+            for name, phase, scopes, binding in entries:
+                bucket = self._entries.get((name, phase))
+                if not bucket:
+                    continue
+                target = (scopes, binding)
+                if target not in bucket:
+                    continue
+                kept = list(bucket)
+                kept.remove(target)
                 removed += 1
-            except ValueError:
-                continue
-            if not bucket:
-                del self._entries[(name, phase)]
+                if kept:
+                    self._entries[(name, phase)] = kept
+                else:
+                    del self._entries[(name, phase)]
         return removed
 
     def release_scopes(self, scopes: "set | frozenset") -> int:
@@ -227,19 +303,21 @@ class BindingTable:
         if not scopes:
             return 0
         removed = 0
-        for key in list(self._entries):
-            bucket = self._entries[key]
-            kept = [(s, b) for (s, b) in bucket if not (s & scopes)]
-            removed += len(bucket) - len(kept)
-            if kept:
-                self._entries[key] = kept
-            else:
-                del self._entries[key]
+        with self._lock:
+            for key in list(self._entries):
+                bucket = self._entries[key]
+                kept = [(s, b) for (s, b) in bucket if not (s & scopes)]
+                removed += len(bucket) - len(kept)
+                if kept:
+                    self._entries[key] = kept
+                else:
+                    del self._entries[key]
         return removed
 
     def entry_count(self) -> int:
         """Total number of live entries (the leak regression metric)."""
-        return sum(len(bucket) for bucket in self._entries.values())
+        with self._lock:
+            return sum(len(bucket) for bucket in self._entries.values())
 
 
 class _Recorder:
@@ -250,11 +328,36 @@ class _Recorder:
         self.entries: list[TableEntry] = []
 
     def __enter__(self) -> list[TableEntry]:
-        self._table._recorders.append(self.entries)
+        self._table._recorder_stack().append(self.entries)
         return self.entries
 
     def __exit__(self, *exc_info: Any) -> None:
-        self._table._recorders.pop()
+        self._table._recorder_stack().pop()
+
+
+class _Transaction:
+    """Context-local log of every table addition made while active.
+
+    ``rollback()`` removes exactly the logged entries — precise under
+    concurrent Runtimes, where a shape snapshot would not be.
+    """
+
+    def __init__(self, table: BindingTable) -> None:
+        self._table = table
+        self.entries: list[TableEntry] = []
+
+    def __enter__(self) -> "_Transaction":
+        self._table._txn_stack().append(self.entries)
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self._table._txn_stack().remove(self.entries)
+
+    def rollback(self) -> int:
+        """Remove every entry this transaction logged; returns the count."""
+        removed = self._table.remove_entries(self.entries)
+        self.entries.clear()
+        return removed
 
 
 #: The single global binding table (scopes are globally unique, so sharing

@@ -9,6 +9,8 @@ largest subset of the reference's scopes.
 
 from __future__ import annotations
 
+import itertools
+import sys
 from typing import FrozenSet
 
 
@@ -27,12 +29,17 @@ class Scope:
     """
 
     __slots__ = ("id", "kind", "token", "__weakref__")
-    _counter = 0
+    #: atomic id source (``next()`` is safe under the GIL; the old
+    #: ``_counter += 1`` could mint duplicate ids on concurrent threads)
+    _counter = itertools.count(1)
 
     def __init__(self, kind: str = "local") -> None:
-        Scope._counter += 1
-        self.id = Scope._counter
-        self.kind = kind
+        self.id = next(Scope._counter)
+        # interned: kinds land in pickled artifacts, and byte-identical
+        # serialization needs every equal kind to be one string object
+        # (pickle memoizes by identity) whether the scope was built from a
+        # source literal or reconstructed from an artifact
+        self.kind = sys.intern(kind)
         self.token: "str | None" = None
 
     def __repr__(self) -> str:

@@ -250,6 +250,22 @@ class Runtime:
                 return CompileResult(None, [Diagnostic.from_error(err)])
             return CompileResult(module, [])
 
+    def compile_graph(
+        self,
+        paths: list[str],
+        *,
+        jobs: Optional[int] = None,
+        mode: Optional[str] = None,
+    ) -> Any:
+        """Compile a module graph in parallel (see
+        :func:`repro.modules.graph.compile_graph`): independent modules fan
+        out across a worker pool (``jobs=None`` → ``os.cpu_count()``), the
+        artifact cache is the coordination point, and on return every
+        module is compiled in *this* Runtime exactly as if it had compiled
+        the graph serially. ``jobs > 1`` requires the cache."""
+        with self._observed():
+            return self.registry.compile_graph(paths, jobs=jobs, mode=mode)
+
     def make_namespace(self) -> Namespace:
         return self.registry.make_runtime_namespace()
 
@@ -295,9 +311,15 @@ usage: python -m repro [options] <file.rkt>
        python -m repro run [options] <file.rkt>
        python -m repro trace <file.rkt|script.py> [--format chrome|summary|jsonl] [--out FILE]
        python -m repro import-smoke [options] <module.name> [--dir DIR]
+       python -m repro serve [--host H] [--port P] [--backend B] [--cache-dir D]
        python -m repro cache stats
        python -m repro cache clear
        python -m repro cache doctor
+
+serve runs the long-lived compile-and-eval service (repro.serve): JSON over
+HTTP, per-tenant Runtime pools sharing one artifact cache, and per-request
+budgets (--steps/--time-limit/--max-depth set the default; each request can
+override). POST /run and /compile, GET /healthz and /stats.
 
 import-smoke installs the #lang import hook (repro.importer), imports the
 named Python module (resolving registered #lang files such as .rkt), and
@@ -363,15 +385,25 @@ def _cache_command(args: list[str], cache_dir: Optional[str]) -> int:
             print(f"  quarantined {name}: {why} -> {dest}")
         for name in report["tmp_removed"]:
             print(f"  removed torn-write debris {name}")
+        for name, pid in report.get("tmp_live", []):
+            print(
+                f"  in-flight write {name}: writer pid {pid} is alive "
+                f"(left alone; doctor is safe to run mid-compile)"
+            )
         for name in report["locks_removed"]:
             print(f"  removed stale lock {name}")
+        for name, pid in report.get("locks_held", []):
+            holder = f"pid {pid}" if pid and pid > 0 else "unknown pid"
+            print(f"  lock {name}: held by live {holder} (left alone)")
         for problem in report["errors"]:
             print(f"  error: {problem}")
         if not (
             report.get("old_version")
             or report["quarantined"]
             or report["tmp_removed"]
+            or report.get("tmp_live")
             or report["locks_removed"]
+            or report.get("locks_held")
             or report["errors"]
         ):
             print("no problems found")
@@ -625,6 +657,19 @@ def main(argv: Optional[list[str]] = None) -> int:
             rest.append(arg)
         i += 1
 
+    if rest and rest[0] == "serve":
+        from repro.serve import serve_command
+
+        serve_args = rest[1:]
+        if backend is not None:
+            serve_args = [f"--backend={backend}"] + serve_args
+        if cache_dir is not None:
+            serve_args = [f"--cache-dir={cache_dir}"] + serve_args
+        for key, flag in (("steps", "--steps"), ("seconds", "--time-limit"),
+                          ("max_depth", "--max-depth")):
+            if key in budget_limits:
+                serve_args = [f"{flag}={budget_limits[key]}"] + serve_args
+        return serve_command(serve_args)
     if rest and rest[0] == "cache":
         return _cache_command(rest[1:], cache_dir)
     if rest and rest[0] == "trace":

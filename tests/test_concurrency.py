@@ -1,0 +1,338 @@
+"""Concurrency stress suite (parallel compilation against one cache).
+
+N threads × M Runtimes compile an overlapping on-disk module graph against
+a single shared artifact-cache directory. The pinned properties:
+
+- **single writer per content hash** — across all concurrent Runtimes each
+  artifact is stored exactly once; losers wait for the winner and load its
+  artifact instead of duplicating the work;
+- **flat binding table** — the global TABLE returns to its baseline entry
+  count once every Runtime closes, no matter how the compiles interleaved;
+- **no torn artifacts** — an injected crash mid-parallel-compile
+  (``repro.faults``) leaves debris only in ``.tmp`` files; every committed
+  ``.zo`` still verifies, and recovery recompiles cleanly;
+- **parallel ≡ serial** — outputs and artifact bytes are identical to a
+  one-Runtime serial compile, under both backends;
+- ``repro cache doctor`` is safe to run while compiles are in flight;
+- regression tests for the binding-table races found in this PR's audit
+  (recorder/transaction context-locality, copy-on-write removal).
+"""
+
+from __future__ import annotations
+
+import gc
+import glob
+import hashlib
+import os
+import threading
+
+import pytest
+
+from repro import Runtime
+from repro.faults import FaultPlan, FaultRule, InjectedCrash, use_fault_plan
+from repro.modules.cache import ModuleCache
+from repro.runtime.values import Symbol
+from repro.syn.binding import LocalBinding, TABLE
+from repro.syn.scopes import Scope
+
+
+def write_graph(root, n: int) -> list[str]:
+    """A diamond-layered module graph: ``m_i`` requires ``m_{i-1}`` and
+    ``m_{i-2}``; every module defines a macro and a provided value."""
+    os.makedirs(root, exist_ok=True)
+    paths = []
+    for i in range(n):
+        deps = [j for j in (i - 1, i - 2) if j >= 0]
+        requires = "\n".join(f'(require "m{j}.rkt")' for j in deps)
+        terms = " ".join([str(i)] + [f"v{j}" for j in deps])
+        source = (
+            "#lang racket\n"
+            f"{requires}\n"
+            f"(define-syntax twice{i} (syntax-rules () [(_ e) (+ e e)]))\n"
+            f"(define v{i} (+ {terms}))\n"
+            f"(define (f{i} x) (twice{i} (+ x v{i})))\n"
+            f"(provide v{i} f{i})\n"
+        )
+        path = os.path.join(str(root), f"m{i}.rkt")
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(source)
+        paths.append(path)
+    return paths
+
+
+def graph_value(n: int) -> int:
+    """The value of ``v_{n-1}`` in the graph above, computed in Python."""
+    vs: list[int] = []
+    for i in range(n):
+        vs.append(i + sum(vs[j] for j in (i - 1, i - 2) if j >= 0))
+    return vs[-1]
+
+
+def write_top(root, n: int) -> str:
+    top = os.path.join(str(root), "top.rkt")
+    with open(top, "w", encoding="utf-8") as f:
+        f.write(
+            "#lang racket\n"
+            f'(require "m{n - 1}.rkt")\n'
+            f"(displayln (f{n - 1} 1))\n"
+        )
+    return top
+
+
+def artifact_digests(cache_dir) -> dict[str, str]:
+    """filename → sha256 for every committed artifact in ``cache_dir``."""
+    digests = {}
+    for path in glob.glob(os.path.join(str(cache_dir), "*.zo")):
+        with open(path, "rb") as f:
+            digests[os.path.basename(path)] = hashlib.sha256(f.read()).hexdigest()
+    return digests
+
+
+@pytest.fixture(params=["interp", "pyc"])
+def backend(request):
+    return request.param
+
+
+N_MODULES = 7
+N_THREADS = 4
+
+
+class TestConcurrentRuntimes:
+    def test_threads_by_runtimes_single_writer_flat_table(self, tmp_path, backend):
+        """The headline stress: N threads × N Runtimes, one cache dir."""
+        paths = write_graph(tmp_path / "src", N_MODULES)
+        top = write_top(tmp_path / "src", N_MODULES)
+        expected = f"{2 * (1 + graph_value(N_MODULES))}\n"
+
+        # serial reference run in its own cache
+        with Runtime(cache_dir=str(tmp_path / "serial"), backend=backend) as rt:
+            assert rt.run(rt.register_file(top)) == expected
+        serial_digests = artifact_digests(tmp_path / "serial")
+        assert len(serial_digests) == N_MODULES + 1
+
+        gc.collect()
+        baseline = TABLE.entry_count()
+        shared = str(tmp_path / "shared")
+        outputs: list[str] = []
+        stores: list[int] = []
+        errors: list[BaseException] = []
+        barrier = threading.Barrier(N_THREADS)
+
+        def worker() -> None:
+            try:
+                with Runtime(cache_dir=shared, backend=backend) as rt:
+                    module = rt.register_file(top)
+                    barrier.wait(timeout=30)
+                    out = rt.run(module)
+                    outputs.append(out)
+                    stores.append(rt.stats.cache_stores)
+            except BaseException as err:  # noqa: BLE001 - collected for assert
+                errors.append(err)
+
+        threads = [threading.Thread(target=worker) for _ in range(N_THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=300)
+        assert not errors, errors
+
+        # every Runtime computed the same answer as the serial reference
+        assert outputs == [expected] * N_THREADS
+
+        # single writer per content hash: the graph has N+1 artifacts and
+        # exactly N+1 stores happened across all four Runtimes combined —
+        # contending writers waited for the winner instead of re-storing
+        assert sum(stores) == N_MODULES + 1
+
+        # no torn/odd artifacts: the shared cache holds exactly the serial
+        # reference's artifacts, byte for byte
+        assert artifact_digests(shared) == serial_digests
+
+        # every Runtime closed → the global table is back to baseline
+        gc.collect()
+        assert TABLE.entry_count() == baseline
+
+    def test_doctor_is_safe_mid_flight(self, tmp_path):
+        """`repro cache doctor` while compiles are in flight: reports, never
+        breaks the writers, and sweeps nothing that belongs to a live PID."""
+        write_graph(tmp_path / "src", N_MODULES)
+        top = write_top(tmp_path / "src", N_MODULES)
+        shared = str(tmp_path / "shared")
+        errors: list[BaseException] = []
+        done = threading.Event()
+
+        def worker() -> None:
+            try:
+                with Runtime(cache_dir=shared) as rt:
+                    rt.run(rt.register_file(top))
+            except BaseException as err:  # noqa: BLE001
+                errors.append(err)
+            finally:
+                done.set()
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        reports = []
+        while not done.is_set():
+            reports.append(ModuleCache(shared).doctor())
+        thread.join(timeout=300)
+        assert not errors, errors
+        # doctor never swept an in-flight write or a live lock out from
+        # under the compiling Runtime
+        for report in reports:
+            assert report["tmp_removed"] == []
+            for _name, pid in report.get("tmp_live", []):
+                assert pid == os.getpid()
+
+    def test_injected_crash_leaves_no_torn_artifact(self, tmp_path):
+        """A crash between artifact write and rename, injected into one of
+        several concurrent compiles: the other Runtimes finish with the
+        right answer, every *committed* artifact verifies, and the debris
+        is a ``.tmp`` file for doctor — never a torn ``.zo``."""
+        write_graph(tmp_path / "src", N_MODULES)
+        top = write_top(tmp_path / "src", N_MODULES)
+        expected = f"{2 * (1 + graph_value(N_MODULES))}\n"
+        shared = str(tmp_path / "shared")
+        outputs: list[str] = []
+        crashes: list[BaseException] = []
+        errors: list[BaseException] = []
+        barrier = threading.Barrier(3)
+
+        def worker() -> None:
+            rt = Runtime(cache_dir=shared)
+            try:
+                module = rt.register_file(top)
+                barrier.wait(timeout=30)
+                outputs.append(rt.run(module))
+            except InjectedCrash as err:
+                crashes.append(err)
+            except BaseException as err:  # noqa: BLE001
+                errors.append(err)
+            finally:
+                rt.close()
+
+        plan = FaultPlan(rules=[FaultRule("cache.replace", "crash", times=1)])
+        with use_fault_plan(plan):
+            threads = [threading.Thread(target=worker) for _ in range(3)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=300)
+
+        assert not errors, errors
+        assert len(crashes) == 1  # the fault fired in exactly one Runtime
+        assert outputs == [expected] * 2
+
+        # recovery: a fresh Runtime over the same cache loads every
+        # committed artifact without a single corruption diagnostic and
+        # recompiles whatever the crash left unwritten
+        with Runtime(cache_dir=shared) as rt:
+            assert rt.run(rt.register_file(top)) == expected
+            assert rt.cache.diagnostics == []
+
+        # the crash debris (if the rename hadn't happened yet by the time
+        # a surviving Runtime re-stored) is at worst a .tmp file owned by
+        # this live process — doctor reports it and sweeps nothing
+        report = ModuleCache(shared).doctor()
+        assert report["tmp_removed"] == []
+        for _name, pid in report.get("tmp_live", []):
+            assert pid == os.getpid()
+
+    def test_compile_graph_thread_mode_matches_serial(self, tmp_path, backend):
+        """`compile_graph(jobs=4, mode="thread")` — the in-process
+        wait-for-winner path — produces byte-identical artifacts and the
+        same report statuses as ``jobs=1``."""
+        paths = write_graph(tmp_path / "src", N_MODULES)
+
+        with Runtime(cache_dir=str(tmp_path / "serial"), backend=backend) as rt:
+            serial = rt.compile_graph(paths, jobs=1)
+        assert serial.ok
+
+        with Runtime(cache_dir=str(tmp_path / "parallel"), backend=backend) as rt:
+            parallel = rt.compile_graph(paths, jobs=4, mode="thread")
+        assert parallel.ok
+        assert parallel.jobs == 4
+
+        assert artifact_digests(tmp_path / "parallel") == artifact_digests(
+            tmp_path / "serial"
+        )
+        assert set(serial.results) == set(parallel.results)
+
+
+class TestBindingTableRaceRegressions:
+    """Pin the fixes from this PR's thread-safety audit of the table."""
+
+    def test_recorders_are_context_local_across_threads(self):
+        """Two threads recording additions concurrently: each recorder
+        captures only its own thread's entries (the old module-global
+        recorder stack interleaved them)."""
+        results: dict[str, list] = {}
+        barrier = threading.Barrier(2)
+        added: list[tuple] = []
+
+        def worker(tag: str) -> None:
+            scope = frozenset([Scope("local")])
+            with TABLE.record_additions() as fragment:
+                barrier.wait(timeout=30)
+                for i in range(200):
+                    name = Symbol(f"race-{tag}-{i}")
+                    TABLE.add(name, scope, LocalBinding(name))
+            results[tag] = list(fragment)
+            added.extend(fragment)
+
+        threads = [
+            threading.Thread(target=worker, args=(tag,)) for tag in ("a", "b")
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        try:
+            assert len(results["a"]) == 200 and len(results["b"]) == 200
+            assert all(e[0].name.startswith("race-a-") for e in results["a"])
+            assert all(e[0].name.startswith("race-b-") for e in results["b"])
+        finally:
+            TABLE.remove_entries(added)
+
+    def test_rollback_does_not_destroy_concurrent_additions(self):
+        """Thread A rolls back its transaction while thread B appends to the
+        *same buckets*: B's entries must survive (the old snapshot/truncate
+        rollback destroyed them)."""
+        shared_names = [Symbol(f"shared-{i}") for i in range(50)]
+        scope_a = frozenset([Scope("local")])
+        scope_b = frozenset([Scope("local")])
+        b_entries: list[tuple] = []
+        barrier = threading.Barrier(2)
+
+        def txn_thread() -> None:
+            txn = TABLE.transaction()
+            with txn:
+                barrier.wait(timeout=30)
+                for name in shared_names:
+                    TABLE.add(name, scope_a, LocalBinding(name))
+                txn.rollback()
+
+        def adder_thread() -> None:
+            barrier.wait(timeout=30)
+            with TABLE.record_additions() as fragment:
+                for name in shared_names:
+                    TABLE.add(name, scope_b, LocalBinding(name))
+            b_entries.extend(fragment)
+
+        threads = [
+            threading.Thread(target=txn_thread),
+            threading.Thread(target=adder_thread),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        try:
+            # every one of B's bindings is still resolvable in the table
+            snapshot = TABLE.snapshot()
+            for name, _phase, scopes, binding in b_entries:
+                bucket_key = (name, 0)
+                assert bucket_key in snapshot, f"{name} lost by A's rollback"
+        finally:
+            removed = TABLE.remove_entries(b_entries)
+            assert removed == len(b_entries)

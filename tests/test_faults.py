@@ -189,10 +189,21 @@ class TestLocking:
         assert not os.path.exists(artifact)
 
     def test_lock_failure_skips_the_store_gracefully(self, tmp_path):
+        # two acquisition sites per cold compile since the writer-claim
+        # protocol landed: the pre-compile claim and the store itself; when
+        # both fail, the run still succeeds and the store is skipped
         with cached_runtime(tmp_path, m=SOURCE) as rt:
-            with use_fault_plan(FaultPlan().rule("cache.lock", "fail")):
+            with use_fault_plan(FaultPlan().rule("cache.lock", "fail", times=2)):
                 assert rt.run("m") == EXPECTED
             assert rt.stats.cache_stores == 0
+
+    def test_lock_failure_at_claim_only_still_stores(self, tmp_path):
+        # a transient lock failure at claim time degrades to an unclaimed
+        # compile; the store's own acquisition then succeeds and publishes
+        with cached_runtime(tmp_path, m=SOURCE) as rt:
+            with use_fault_plan(FaultPlan().rule("cache.lock", "fail", times=1)):
+                assert rt.run("m") == EXPECTED
+            assert rt.stats.cache_stores == 1
 
     def test_lock_is_released_after_store(self, tmp_path):
         artifact = warm_cache(tmp_path)
@@ -218,9 +229,24 @@ class TestCrash:
         rt.close()
         gc.collect()
         assert TABLE.entry_count() == before
-        # doctor sweeps the debris
+        # the debris names this (live) process as its writer, so doctor
+        # reports it instead of sweeping — safe to run mid-flight
         report = ModuleCache(cache_dir).doctor()
-        assert report["tmp_removed"] == debris
+        assert report["tmp_removed"] == []
+        assert [name for name, _pid in report["tmp_live"]] == debris
+        assert all(pid == os.getpid() for _name, pid in report["tmp_live"])
+        # once the writer is gone (simulate: re-stamp with a dead pid),
+        # doctor sweeps the debris
+        dead = []
+        for name in debris:
+            stem = name.rsplit(".tmp.", 1)[0]
+            dead_name = f"{stem}.tmp.999999999"
+            os.rename(
+                os.path.join(cache_dir, name), os.path.join(cache_dir, dead_name)
+            )
+            dead.append(dead_name)
+        report = ModuleCache(cache_dir).doctor()
+        assert report["tmp_removed"] == dead
         assert not [n for n in os.listdir(cache_dir) if ".tmp." in n]
         # and a fresh process recompiles and stores normally
         with cached_runtime(tmp_path, m=SOURCE) as rt2:

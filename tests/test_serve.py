@@ -1,0 +1,239 @@
+"""Endpoint tests for the ``repro serve`` compile-and-eval service.
+
+Most tests drive :meth:`ReproServer.handle` directly (no sockets) — the
+HTTP layer is a thin shim over it, covered by the round-trip tests at
+the end. Pinned behaviour: the JSON envelope (``ok``/``error.code``/
+per-request ``stats`` deltas), warm-cache hits across tenants, budget
+kills as well-formed G001 replies, S400 validation, cache-fault
+degradation with C-coded ``diagnostics``, and runtime pooling.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.faults import FaultPlan, FaultRule, use_fault_plan
+from repro.serve import ReproServer
+from repro.serve.server import _BadRequest
+
+HELLO = '#lang racket\n(define x 20)\n(displayln (+ x 22))\n'
+
+# many closure applications so a tiny step budget trips mid-eval
+BUSY = (
+    "#lang racket\n"
+    + "\n".join(f"(define (f{j} x) (+ x {j}))" for j in range(20))
+    + "\n(displayln (+ "
+    + " ".join(f"(f{j} 1)" for j in range(20))
+    + "))\n"
+)
+
+
+@pytest.fixture
+def srv(tmp_path):
+    with ReproServer(cache_dir=str(tmp_path / "cache")) as server:
+        yield server
+
+
+class TestEnvelope:
+    def test_healthz(self, srv):
+        status, payload = srv.handle("GET", "/healthz", None)
+        assert status == 200 and payload["ok"] is True
+        assert payload["requests"] >= 1
+
+    def test_run_source(self, srv):
+        status, payload = srv.handle("POST", "/run", {"source": HELLO})
+        assert status == 200 and payload["ok"] is True
+        assert payload["output"] == "42\n"
+        assert payload["tenant"] == "default"
+        assert payload["stats"]["cache_misses"] > 0  # cold
+        assert payload["elapsed_ms"] > 0
+
+    def test_run_path(self, srv, tmp_path):
+        path = tmp_path / "prog.rkt"
+        path.write_text(HELLO, encoding="utf-8")
+        status, payload = srv.handle("POST", "/run", {"path": str(path)})
+        assert status == 200 and payload["ok"] is True
+        assert payload["output"] == "42\n"
+
+    def test_compile_has_no_output(self, srv):
+        status, payload = srv.handle("POST", "/compile", {"source": HELLO})
+        assert status == 200 and payload["ok"] is True
+        assert "output" not in payload
+        assert payload["stats"]["cache_stores"] > 0
+
+    def test_missing_file_is_s500_envelope(self, srv):
+        status, payload = srv.handle(
+            "POST", "/run", {"path": "/nonexistent/x.rkt"}
+        )
+        assert status == 200 and payload["ok"] is False
+        assert payload["error"]["code"] == "S500"
+
+    def test_routing_errors(self, srv):
+        status, payload = srv.handle("GET", "/nope", None)
+        assert status == 404 and payload["error"]["code"] == "S404"
+        status, payload = srv.handle("GET", "/run", None)
+        assert status == 405 and payload["error"]["code"] == "S405"
+
+
+class TestWarmth:
+    def test_same_source_is_warm_across_tenants(self, srv):
+        _, cold = srv.handle("POST", "/run", {"source": HELLO, "tenant": "a"})
+        assert cold["stats"]["cache_misses"] > 0
+        _, warm = srv.handle("POST", "/run", {"source": HELLO, "tenant": "b"})
+        assert warm["ok"] is True and warm["output"] == "42\n"
+        # tenant b never compiled: the content-derived module path hit
+        # the artifacts tenant a stored
+        assert warm["stats"]["cache_hits"] > 0
+        assert warm["stats"]["cache_misses"] == 0
+        assert warm["stats"]["cache_stores"] == 0
+
+    def test_tenant_pooling_reuses_runtimes(self, srv):
+        srv.handle("POST", "/run", {"source": HELLO, "tenant": "a"})
+        srv.handle("POST", "/run", {"source": HELLO, "tenant": "a"})
+        assert srv.pool.reused >= 1
+        _, stats = srv.handle("GET", "/stats", None)
+        assert stats["runtimes"]["created"] >= 1
+        assert stats["runtimes"]["reused"] >= 1
+
+
+class TestBudgets:
+    def test_budget_kill_is_well_formed_g001(self, srv):
+        status, payload = srv.handle(
+            "POST", "/run", {"source": BUSY, "budget": {"steps": 5}}
+        )
+        # a governed kill is a *successful* service reply, not a 5xx
+        assert status == 200 and payload["ok"] is False
+        assert payload["error"]["code"] == "G001"
+        assert "stats" in payload
+        _, stats = srv.handle("GET", "/stats", None)
+        assert stats["budget_kills"].get("G001", 0) >= 1
+
+    def test_killed_runtime_is_reusable(self, srv):
+        srv.handle("POST", "/run", {"source": BUSY, "budget": {"steps": 5}})
+        status, payload = srv.handle(
+            "POST", "/run", {"source": HELLO, "tenant": "default"}
+        )
+        assert payload["ok"] is True and payload["output"] == "42\n"
+
+    def test_default_budget_applies(self, tmp_path):
+        with ReproServer(
+            cache_dir=str(tmp_path / "cache"),
+            default_budget={"steps": 5},
+        ) as server:
+            _, payload = server.handle("POST", "/run", {"source": BUSY})
+            assert payload["ok"] is False
+            assert payload["error"]["code"] == "G001"
+            # a per-request budget overrides the default
+            _, ok = server.handle(
+                "POST", "/run", {"source": BUSY, "budget": {"steps": 100000}}
+            )
+            assert ok["ok"] is True
+
+
+class TestValidation:
+    @pytest.mark.parametrize("body", [
+        None,
+        {},
+        {"source": HELLO, "path": "x.rkt"},
+        {"source": 3},
+        {"path": 3},
+        {"source": HELLO, "tenant": ""},
+        {"source": HELLO, "budget": {"bogus": 1}},
+        {"source": HELLO, "budget": "fast"},
+    ])
+    def test_bad_run_bodies(self, srv, body):
+        with pytest.raises(_BadRequest):
+            srv.handle("POST", "/run", body)
+
+    @pytest.mark.parametrize("body", [
+        {"paths": "not-a-list"},
+        {"paths": [1, 2]},
+        {"paths": [], "jobs": 0},
+        {"paths": [], "mode": "warp"},
+    ])
+    def test_bad_graph_bodies(self, srv, body):
+        with pytest.raises(_BadRequest):
+            srv.handle("POST", "/compile", body)
+
+
+class TestFaults:
+    def test_cache_fault_degrades_with_diagnostics(self, srv):
+        srv.handle("POST", "/run", {"source": HELLO, "tenant": "a"})
+        plan = FaultPlan(rules=[FaultRule("cache.read", "garble", times=1)])
+        with use_fault_plan(plan):
+            _, payload = srv.handle(
+                "POST", "/run", {"source": HELLO, "tenant": "b"}
+            )
+        # the garbled artifact is quarantined and the module recompiled:
+        # the request still succeeds, carrying the C-coded warning
+        assert payload["ok"] is True and payload["output"] == "42\n"
+        assert payload.get("diagnostics"), payload
+        assert srv.warnings >= 1
+
+
+class TestGraphEndpoint:
+    def test_compile_graph_over_service(self, srv, tmp_path):
+        paths = []
+        for i in range(3):
+            req = f'(require "m{i - 1}.rkt")\n' if i else ""
+            body = f"#lang racket\n{req}(define v{i} {i})\n(provide v{i})\n"
+            p = tmp_path / f"m{i}.rkt"
+            p.write_text(body, encoding="utf-8")
+            paths.append(str(p))
+        status, payload = srv.handle(
+            "POST", "/compile", {"paths": paths, "jobs": 2, "mode": "thread"}
+        )
+        assert status == 200 and payload["ok"] is True
+        assert payload["counts"]["compiled"] == 3
+        assert payload["counts"]["failed"] == 0
+        assert len(payload["waves"]) >= 1
+
+    def test_graph_failure_reports_x100(self, srv, tmp_path):
+        bad = tmp_path / "bad.rkt"
+        bad.write_text(
+            "#lang racket\n(define v no-such-binding)\n", encoding="utf-8"
+        )
+        status, payload = srv.handle(
+            "POST", "/compile", {"paths": [str(bad)], "jobs": 1}
+        )
+        assert status == 200 and payload["ok"] is False
+        assert payload["error"]["code"] == "X100"
+        assert payload["counts"]["failed"] == 1
+
+
+class TestHTTP:
+    """Round-trips through the real socket layer."""
+
+    def _post(self, url, path, body):
+        data = json.dumps(body).encode("utf-8") if body is not None else b"{"
+        req = urllib.request.Request(
+            url + path, data=data, headers={"Content-Type": "application/json"}
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=60) as resp:
+                return resp.status, json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as err:
+            return err.code, json.loads(err.read().decode("utf-8"))
+
+    def test_run_over_http(self, srv):
+        status, payload = self._post(srv.url, "/run", {"source": HELLO})
+        assert status == 200 and payload["ok"] is True
+        assert payload["output"] == "42\n"
+
+    def test_bad_request_is_http_400(self, srv):
+        status, payload = self._post(srv.url, "/run", {})
+        assert status == 400 and payload["error"]["code"] == "S400"
+
+    def test_invalid_json_is_http_400(self, srv):
+        status, payload = self._post(srv.url, "/run", None)  # sends b"{"
+        assert status == 400 and payload["error"]["code"] == "S400"
+
+    def test_healthz_over_http(self, srv):
+        with urllib.request.urlopen(srv.url + "/healthz", timeout=60) as resp:
+            payload = json.loads(resp.read().decode("utf-8"))
+        assert resp.status == 200 and payload["ok"] is True
