@@ -1,0 +1,185 @@
+"""Benchmark the new ``#lang`` frontends: cold vs warm cache, both backends.
+
+Usage::
+
+    python benchmarks/bench_langs.py                  # 3 repeats, table only
+    python benchmarks/bench_langs.py --repeats 5
+    python benchmarks/bench_langs.py --json BENCH_langs.json
+
+Two workload families exercise the dialect layer end-to-end:
+
+- ``match-heavy`` (``#lang racket/match-ext``): a dispatch loop over
+  tagged lists, vectors, and a user match expander — decision trees and
+  pattern expansion on the compile path, tree execution on the run path.
+- ``operator-heavy`` (``#lang racket/infix``): arithmetic written in
+  braces — the whole-module infix rewrite on the compile path, ordinary
+  compiled arithmetic on the run path.
+
+Each program runs on both backends, cold (empty artifact cache: read +
+dialect rewrite + expand + compile + store + run) and warm (a fresh
+Runtime over the same cache: load + run). Warm runs assert the platform
+contract: **zero** expansion steps and zero pyc codegens. ``--json``
+writes ``BENCH_langs.json``::
+
+    {"schema": "repro-bench-langs/1",
+     "programs": {"match-heavy": {"interp": {"cold_seconds": ...,
+                                             "warm_seconds": ...,
+                                             "warm_speedup": ...,
+                                             "warm_expansions": 0,
+                                             "warm_pyc_codegens": 0}, ...},
+                  ...}}
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+import time
+from typing import Iterable
+
+if __package__ in (None, ""):
+    # allow `python benchmarks/bench_langs.py`
+    import os
+
+    sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    sys.path.insert(
+        0,
+        os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+        ),
+    )
+
+from repro import Runtime
+
+BACKENDS = ("interp", "pyc")
+
+MATCH_HEAVY = """#lang racket/match-ext
+(define-match-expander point
+  (syntax-rules () [(_ x y) (list 'point x y)]))
+(define (step v)
+  (match v
+    [(list 'add a b) (+ a b)]
+    [(list 'sub a b) (- a b)]
+    [(list 'mul a b) (* a b)]
+    [(cons 'neg r) (- 0 (car r))]
+    [(point x y) (+ x y)]
+    [(vector a b) (* a b)]
+    [(vector a b c) (+ a (* b c))]
+    [_ 0]))
+(define (loop i acc)
+  (if (= i 0)
+      acc
+      (loop (- i 1)
+            (+ acc
+               (step (list 'add i 1))
+               (step (list 'mul i 2))
+               (step (list 'point i i))
+               (step (vector i 7))
+               (step (vector i i i))))))
+(displayln (loop 1500 0))
+"""
+
+OPERATOR_HEAVY = """#lang racket/infix
+(define-op ^ 8 right expt)
+(define (poly x) {3 * x * x + 2 * x + 1})
+(define (tri n) {n * {n + 1} quotient 2})
+(define (loop i acc)
+  (if {i = 0}
+      acc
+      (loop {i - 1}
+            {acc + (poly i) + {i ^ 2} - (tri i) + {i > 100 ? i : 0}})))
+(displayln (loop 1500 0))
+"""
+
+PROGRAMS = {
+    "match-heavy": MATCH_HEAVY,
+    "operator-heavy": OPERATOR_HEAVY,
+}
+
+
+def time_run(source: str, backend: str, cache_dir: str) -> tuple[float, dict]:
+    """One full cycle against ``cache_dir``; returns (seconds, stats)."""
+    t0 = time.perf_counter()
+    with Runtime(cache_dir=cache_dir, backend=backend) as rt:
+        rt.register_module("bench", source)
+        rt.run("bench")
+        elapsed = time.perf_counter() - t0
+        return elapsed, rt.stats.snapshot()
+
+
+def bench_program(name: str, source: str, backend: str, repeats: int) -> dict:
+    cold_best = warm_best = float("inf")
+    warm_stats: dict = {}
+    for _ in range(repeats):
+        cache_dir = tempfile.mkdtemp(prefix="bench-langs-")
+        try:
+            cold, _ = time_run(source, backend, cache_dir)
+            warm, stats = time_run(source, backend, cache_dir)
+            cold_best = min(cold_best, cold)
+            if warm < warm_best:
+                warm_best, warm_stats = warm, stats
+        finally:
+            shutil.rmtree(cache_dir, ignore_errors=True)
+    record = {
+        "cold_seconds": round(cold_best, 6),
+        "warm_seconds": round(warm_best, 6),
+        "warm_speedup": round(cold_best / warm_best, 3),
+        "warm_expansions": warm_stats["expansion_steps"],
+        "warm_pyc_codegens": warm_stats["pyc_codegens"],
+    }
+    # the platform contract this benchmark exists to witness
+    assert record["warm_expansions"] == 0, record
+    assert record["warm_pyc_codegens"] == 0, record
+    return record
+
+
+def main(argv: Iterable[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="cycles per cell (keep best)")
+    parser.add_argument(
+        "--json",
+        nargs="?",
+        const="BENCH_langs.json",
+        default=None,
+        metavar="FILE",
+        help="write the summary as JSON (default file: BENCH_langs.json)",
+    )
+    args = parser.parse_args(list(argv) if argv is not None else None)
+
+    payload: dict = {
+        "schema": "repro-bench-langs/1",
+        "repeats": args.repeats,
+        "programs": {},
+    }
+    header = (
+        f"{'program':<16}{'backend':<9}{'cold':>10}{'warm':>10}{'speedup':>9}"
+        f"{'warm exp':>10}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name, source in PROGRAMS.items():
+        payload["programs"][name] = {}
+        for backend in BACKENDS:
+            rec = bench_program(name, source, backend, args.repeats)
+            payload["programs"][name][backend] = rec
+            print(
+                f"{name:<16}{backend:<9}"
+                f"{rec['cold_seconds']*1000:>8.1f}ms"
+                f"{rec['warm_seconds']*1000:>8.1f}ms"
+                f"{rec['warm_speedup']:>8.2f}x"
+                f"{rec['warm_expansions']:>10}"
+            )
+    if args.json is not None:
+        with open(args.json, "w", encoding="utf-8") as f:
+            json.dump(payload, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"wrote {args.json}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,72 @@
+"""Infix and mixfix operators as a library (``#lang racket/infix``).
+
+The reader records brace lists with a ``paren-shape`` property; the infix
+*dialect* — a whole-module rewrite that runs before macro expansion —
+turns every brace expression into ordinary prefix forms by precedence
+climbing. Operators are user-declarable with precedence, associativity,
+and an optional rewrite target, and the ``+infix`` suffix stacks the same
+dialect onto any other language.
+
+Run:  python examples/infix_language.py
+"""
+
+from repro import Runtime
+
+rt = Runtime()
+
+print("== arithmetic reads like arithmetic ==")
+print(
+    rt.run_source(
+        """#lang racket/infix
+(displayln {1 + 2 * 3})
+(displayln {{1 + 2} * 3})
+(displayln {10 - 3 - 2})          ; left-associative
+(displayln {3 * 3 = 9 and 1 < 2})
+"""
+    )
+)
+
+print("== define-op: new operators with precedence and associativity ==")
+print(
+    rt.run_source(
+        """#lang racket/infix
+(define-op ^ 8 right expt)
+(displayln {2 ^ 3 ^ 2})           ; right-assoc: 2^(3^2) = 512
+
+;; the target may be *any* binding at the declaration site — macros too
+(define-syntax cons-snoc (syntax-rules () [(_ a b) (cons b a)]))
+(define-op <: 3 left cons-snoc)
+(displayln {'tail <: 'head})
+"""
+    )
+)
+
+print("== mixfix: := definitions and ? : conditionals ==")
+print(
+    rt.run_source(
+        """#lang racket/infix
+{x := 6 * 7}
+(displayln x)
+{(clamp v lo hi) := {v < lo ? lo : v > hi ? hi : v}}
+(displayln (list (clamp -5 0 10) (clamp 5 0 10) (clamp 50 0 10)))
+"""
+    )
+)
+
+print("== quoted braces are data; the dialect stacks on other languages ==")
+print(
+    rt.run_source(
+        """#lang racket/infix
+(displayln '{1 + 2})
+"""
+    )
+)
+print(
+    rt.run_source(
+        """#lang typed+infix
+(: fahrenheit (-> Integer Integer))
+(define (fahrenheit c) {c * 9 quotient 5 + 32})
+(displayln (fahrenheit 100))
+"""
+    )
+)

@@ -1,0 +1,72 @@
+"""Extensible pattern matching as a library (``#lang racket/match-ext``).
+
+``define-match-expander`` lets user code extend the *pattern* language the
+way macros extend the expression language: a pattern whose head names an
+expander is rewritten before compilation. The match compiler also builds
+decision trees (adjacent clauses with the same root constructor share one
+test) and reports exhaustiveness near-misses to the optimization coach.
+
+Run:  python examples/match_language.py
+"""
+
+from repro import Runtime, Tracer
+
+rt = Runtime()
+
+print("== the familiar pattern language ==")
+print(
+    rt.run_source(
+        """#lang racket/match-ext
+(define (eval-expr e)
+  (match e
+    [(list 'num n) n]
+    [(list 'add a b) (+ (eval-expr a) (eval-expr b))]
+    [(list 'mul a b) (* (eval-expr a) (eval-expr b))]
+    [_ (error "unknown expression")]))
+(displayln (eval-expr '(add (num 2) (mul (num 4) (num 10)))))
+"""
+    )
+)
+
+print("== define-match-expander: user-defined patterns ==")
+print(
+    rt.run_source(
+        """#lang racket/match-ext
+;; a `point` pattern over plain tagged lists — pattern-position sugar
+(define-match-expander point
+  (syntax-rules () [(_ x y) (list 'point x y)]))
+
+(define (mirror p)
+  (match p
+    [(point x y) (list 'point y x)]
+    [_ 'not-a-point]))
+(displayln (mirror (list 'point 3 4)))
+
+;; expanders compose: a segment is two points
+(define-match-expander segment
+  (syntax-rules () [(_ x1 y1 x2 y2) (list (point x1 y1) (point x2 y2))]))
+(define (run-length s)
+  (match s
+    [(segment x1 y1 x2 y2) (+ (abs (- x2 x1)) (abs (- y2 y1)))]))
+(displayln (run-length (list (list 'point 0 0) (list 'point 3 4))))
+"""
+    )
+)
+
+print("== the coach reports what the match compiler saw ==")
+tracer = Tracer()
+with Runtime(trace=tracer) as traced:
+    traced.run_source(
+        """#lang racket/match-ext
+(define (opcode i)
+  (match i
+    [(list 'push v) v]
+    [(list 'pop) 'pop]
+    [(list 'binop op a b) op]))
+(displayln (opcode '(push 42)))
+"""
+    )
+for event in tracer.events:
+    if event.category == "coach":
+        kind = event.attrs.get("replacement") or event.attrs.get("reason")
+        print(f"  [{event.attrs['rule']}] {kind}")

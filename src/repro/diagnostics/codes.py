@@ -9,6 +9,7 @@ test suites) can match on them instead of on message text. The namespaces:
 - ``M00x`` — module system errors
 - ``C00x`` — contract violations
 - ``C10x`` — compiled-artifact cache warnings
+- ``D00x`` — dialect errors (whole-module rewrites below the macro layer)
 - ``G00x`` — resource-governance errors (budgets, cancellation)
 - ``X00x`` — runtime errors and aggregates
 """
@@ -43,6 +44,11 @@ CODES: dict[str, str] = {
     "C104": "corrupt compiled artifact quarantined (recompiled from source)",
     "C105": "cache directory unavailable (caching disabled)",
     "C106": "timed out waiting for a concurrent artifact writer (compiled locally)",
+    # dialects (whole-module rewrites applied before #%module-begin)
+    "D001": "unknown dialect",
+    "D002": "dialect rewrite failed",
+    "D003": "malformed operator declaration",
+    "D004": "malformed infix expression",
     # resource governance (repro.guard)
     "G001": "evaluation step budget exhausted",
     "G002": "evaluation wall-clock deadline exceeded",

@@ -1,0 +1,107 @@
+"""Dialects: whole-module rewrites stacked below the macro layer.
+
+A *dialect* is a source→syntax transformer applied to a module's body —
+the reader's output, before the body is wrapped in ``#%module-begin`` and
+handed to the macro expander. Where a macro rewrites one form at a time
+under hygiene, a dialect sees (and may replace) the whole module body at
+once, mcpyrate-style. That makes dialects the right tool for surface-level
+reshaping that individual macros cannot express: collecting declarations
+scattered through a module (operator tables), hoisting definitions above
+their first use, or reinterpreting reader-level notation (brace lists as
+infix expressions).
+
+Dialects are registered on the :class:`~repro.modules.registry.ModuleRegistry`
+parallel to languages and named on the ``#lang`` line, either implied by a
+language (``#lang racket/infix``) or stacked explicitly with ``+``
+(``#lang racket+infix``, ``#lang typed+match-ext``). Stacked dialects run
+left to right. Each dialect's identity and version are folded into the
+artifact-cache content hash, so changing the dialect stack — or bumping a
+dialect's version — invalidates cached artifacts exactly like editing the
+source would.
+
+Dialect failures surface as D-coded :class:`~repro.errors.DialectError`
+diagnostics. Because dialects run on reader syntax, culprit srclocs always
+point at the pre-rewrite source text.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.errors import DialectError, ReproError
+from repro.observe import current_recorder
+
+if TYPE_CHECKING:
+    from repro.diagnostics.session import DiagnosticSession
+    from repro.syn.syntax import Syntax
+
+
+class Dialect:
+    """Base class for whole-module rewrites.
+
+    Subclasses set :attr:`name` (the registry key used on ``#lang`` lines)
+    and bump :attr:`version` whenever the rewrite's output changes, since
+    the version participates in artifact-cache keys. The only hook is
+    :meth:`rewrite`.
+    """
+
+    #: registry key, as written on the ``#lang`` line
+    name = "?"
+    #: folded into cache keys; bump when the rewrite's output changes
+    version = "1"
+
+    @property
+    def tag(self) -> str:
+        """The cache-key identity of this dialect (name plus version)."""
+        return f"{self.name}@{self.version}"
+
+    def rewrite(
+        self,
+        forms: Sequence["Syntax"],
+        path: str,
+        session: "DiagnosticSession",
+    ) -> Sequence["Syntax"]:
+        """Return the replacement module body.
+
+        ``forms`` is the reader output for ``path`` (every top-level form
+        after the ``#lang`` line). Recoverable per-form problems should be
+        recorded on ``session`` (as D-coded errors) so one bad form does
+        not hide the next; the compiler checks the session right after the
+        dialect stack runs.
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Dialect {self.tag}>"
+
+
+def apply_dialects(
+    dialects: Iterable[Dialect],
+    forms: Sequence["Syntax"],
+    path: str,
+    session: "DiagnosticSession",
+) -> list["Syntax"]:
+    """Run a dialect stack over a module body, left to right.
+
+    Each dialect runs under a ``dialect.*`` span on the observe bus.
+    Platform errors propagate as-is (they already carry codes and
+    srclocs); anything else is wrapped in a D002 :class:`DialectError`
+    naming the dialect, so a buggy dialect fails like a user error rather
+    than an internal crash.
+    """
+    rec = current_recorder()
+    out = list(forms)
+    for dialect in dialects:
+        with rec.span(
+            "dialect", f"{dialect.name} {path}", attrs={"version": dialect.version}
+        ):
+            try:
+                out = list(dialect.rewrite(out, path, session))
+            except ReproError:
+                raise
+            except Exception as err:
+                raise DialectError(
+                    f"dialect {dialect.name} failed: "
+                    f"{type(err).__name__}: {err}"
+                ) from err
+    return out

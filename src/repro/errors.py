@@ -96,6 +96,17 @@ class SyntaxExpansionError(ReproError):
         super().__init__(detail, srcloc, code=code)
 
 
+class DialectError(SyntaxExpansionError):
+    """Error raised by a dialect's whole-module rewrite.
+
+    Dialects run on reader output, before any macro expansion, so the
+    culprit syntax still carries its original source locations — the
+    reported srcloc always points at pre-rewrite source.
+    """
+
+    DEFAULT_CODE = "D002"
+
+
 class UnboundIdentifierError(SyntaxExpansionError):
     """An identifier could not be resolved to any binding."""
 

@@ -1,0 +1,278 @@
+"""``#lang racket/infix``: user-defined infix and mixfix operators.
+
+Reproduces the surface-language side of Ichikawa & Chiba's *User-Defined
+Operators Including Name Binding for New Language Constructs* on top of the
+dialect layer: the reader already records brace lists with a ``paren-shape``
+syntax property (Racket's convention), and :class:`InfixDialect` rewrites
+every brace-shaped list in the module into ordinary prefix applications by
+precedence climbing — before any macro expansion runs.
+
+Operator tables are per module. A module starts from the default table
+(arithmetic, comparison, ``and``/``or``) and extends it with top-level
+declarations::
+
+    (define-op <name> <precedence> left|right [<target>])
+
+``{a <name> b}`` then rewrites to ``(<target> a b)`` — or ``(<name> a b)``
+when no target is given. Binding is hygienic by *reuse of real syntax*:
+the function position of the rewritten application is the operator's own
+occurrence (no target) or the target identifier exactly as written in the
+declaration, scopes and srcloc intact — so the name resolves where the
+user wrote it, may be a macro, and may itself bind names. ``:=`` uses
+that: ``{x := e}`` (or ``{(f n) := e}``) rewrites to ``(define ...)``,
+binding ``x`` with the use site's scopes. The ternary mixfix
+``{c ? t : e}`` rewrites to ``(if c t e)``.
+
+Because the rewrite runs on reader output, every diagnostic (D003 for bad
+declarations, D004 for malformed brace expressions) points at the original
+source, and quoted data (``'{1 + 2}``) is left alone. A brace list in any
+*other* language stays a plain parenthesized form, exactly like Racket
+without an infix reader.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.dialects import Dialect
+from repro.errors import DialectError
+from repro.modules.registry import Language, ModuleRegistry
+from repro.runtime.values import Symbol
+from repro.syn.syntax import ImproperList, Syntax, VectorDatum
+
+_SHAPE = "paren-shape"
+
+#: operator table entry: name -> (precedence, associativity, target syntax)
+_OpEntry = tuple[int, str, Optional[Syntax]]
+
+#: the default table every module starts from (higher binds tighter)
+_DEFAULT_OPS: dict[str, _OpEntry] = {
+    "or": (1, "left", None),
+    "and": (2, "left", None),
+    "<": (3, "left", None),
+    "<=": (3, "left", None),
+    ">": (3, "left", None),
+    ">=": (3, "left", None),
+    "=": (3, "left", None),
+    "+": (4, "left", None),
+    "-": (4, "left", None),
+    "*": (5, "left", None),
+    "/": (5, "left", None),
+    "remainder": (5, "left", None),
+    "modulo": (5, "left", None),
+    "quotient": (5, "left", None),
+}
+
+#: heads whose bodies are data, not expressions — never rewritten
+_OPAQUE_HEADS = frozenset({"quote", "quote-syntax", "quasiquote"})
+
+
+def _is_id_named(stx: Any, name: str) -> bool:
+    return isinstance(stx, Syntax) and stx.is_identifier() and stx.e.name == name
+
+
+class InfixDialect(Dialect):
+    """Rewrite brace-shaped lists into prefix applications, module-wide."""
+
+    name = "infix"
+    version = "1"
+
+    def rewrite(self, forms, path, session):
+        table = dict(_DEFAULT_OPS)
+        body = []
+        for form in forms:
+            if self._is_define_op(form):
+                with session.recover():
+                    self._declare(form, table)
+                continue
+            body.append(form)
+        out = []
+        for form in body:
+            with session.recover():
+                form = self._rewrite(form, table, session)
+            out.append(form)
+        return out
+
+    # -- operator declarations ---------------------------------------------
+
+    @staticmethod
+    def _is_define_op(form: Syntax) -> bool:
+        return isinstance(form.e, tuple) and len(form.e) > 0 and _is_id_named(
+            form.e[0], "define-op"
+        )
+
+    def _declare(self, form: Syntax, table: dict[str, _OpEntry]) -> None:
+        e = form.e
+        if not (4 <= len(e) <= 5):
+            raise DialectError(
+                "define-op: expected (define-op name precedence assoc [target])",
+                form,
+                code="D003",
+            )
+        name_stx, prec_stx, assoc_stx = e[1], e[2], e[3]
+        if not name_stx.is_identifier():
+            raise DialectError(
+                "define-op: operator name must be an identifier",
+                form, name_stx, code="D003",
+            )
+        if not isinstance(prec_stx.e, int) or isinstance(prec_stx.e, bool):
+            raise DialectError(
+                "define-op: precedence must be an integer",
+                form, prec_stx, code="D003",
+            )
+        if not (assoc_stx.is_identifier() and assoc_stx.e.name in ("left", "right")):
+            raise DialectError(
+                "define-op: associativity must be `left` or `right`",
+                form, assoc_stx, code="D003",
+            )
+        target = None
+        if len(e) == 5:
+            if not e[4].is_identifier():
+                raise DialectError(
+                    "define-op: target must be an identifier",
+                    form, e[4], code="D003",
+                )
+            target = e[4]
+        table[name_stx.e.name] = (prec_stx.e, assoc_stx.e.name, target)
+
+    # -- recursive rewrite --------------------------------------------------
+
+    def _rewrite(self, stx: Syntax, table: dict[str, _OpEntry], session) -> Syntax:
+        e = stx.e
+        if isinstance(e, tuple):
+            if (
+                e
+                and e[0].is_identifier()
+                and e[0].e.name in _OPAQUE_HEADS
+            ):
+                return stx
+            children = tuple(self._rewrite(c, table, session) for c in e)
+            out = Syntax(children, stx.scopes, stx.srcloc, stx.props)
+            if stx.property_get(_SHAPE) == "{":
+                out = self._parse_infix(out, table)
+            return out
+        if isinstance(e, ImproperList):
+            items = tuple(self._rewrite(c, table, session) for c in e.items)
+            tail = self._rewrite(e.tail, table, session)
+            return Syntax(ImproperList(items, tail), stx.scopes, stx.srcloc, stx.props)
+        if isinstance(e, VectorDatum):
+            items = tuple(self._rewrite(c, table, session) for c in e.items)
+            return Syntax(VectorDatum(items), stx.scopes, stx.srcloc, stx.props)
+        return stx
+
+    # -- precedence climbing -------------------------------------------------
+
+    def _entry(self, item: Any, table: dict[str, _OpEntry]) -> Optional[_OpEntry]:
+        if isinstance(item, Syntax) and item.is_identifier():
+            return table.get(item.e.name)
+        return None
+
+    def _parse_infix(self, stx: Syntax, table: dict[str, _OpEntry]) -> Syntax:
+        items = list(stx.e)
+        if not items:
+            raise DialectError("infix: empty brace expression", stx, code="D004")
+        return self._parse_items(items, stx, table)
+
+    def _parse_items(
+        self, items: list[Syntax], whole: Syntax, table: dict[str, _OpEntry]
+    ) -> Syntax:
+        # mixfix define: {lhs := rhs ...}
+        if len(items) >= 3 and _is_id_named(items[1], ":="):
+            lhs = items[0]
+            if not (lhs.is_identifier() or isinstance(lhs.e, tuple)):
+                raise DialectError(
+                    "infix: `:=` needs an identifier or (f arg ...) header",
+                    whole, lhs, code="D004",
+                )
+            rhs = self._parse_items(items[2:], whole, table)
+            define_id = Syntax(Symbol("define"), whole.scopes, items[1].srcloc)
+            return Syntax((define_id, lhs, rhs), whole.scopes, whole.srcloc)
+        # mixfix ternary: {c ? t : e}
+        for i, item in enumerate(items):
+            if _is_id_named(item, "?"):
+                j = self._matching_colon(items, i)
+                if j is None or i == 0 or j == i + 1 or j == len(items) - 1:
+                    raise DialectError(
+                        "infix: malformed `? :` expression",
+                        whole, item, code="D004",
+                    )
+                cond = self._parse_items(items[:i], whole, table)
+                then = self._parse_items(items[i + 1:j], whole, table)
+                alt = self._parse_items(items[j + 1:], whole, table)
+                if_id = Syntax(Symbol("if"), whole.scopes, item.srcloc)
+                return Syntax((if_id, cond, then, alt), whole.scopes, whole.srcloc)
+        expr, pos = self._parse_binary(items, 0, 0, whole, table)
+        if pos != len(items):
+            raise DialectError(
+                "infix: expected an operator", whole, items[pos], code="D004"
+            )
+        return expr
+
+    @staticmethod
+    def _matching_colon(items: list[Syntax], qpos: int) -> Optional[int]:
+        depth = 0
+        for j in range(qpos + 1, len(items)):
+            if _is_id_named(items[j], "?"):
+                depth += 1
+            elif _is_id_named(items[j], ":"):
+                if depth == 0:
+                    return j
+                depth -= 1
+        return None
+
+    def _operand(
+        self, items: list[Syntax], pos: int, whole: Syntax,
+        table: dict[str, _OpEntry],
+    ) -> Syntax:
+        if pos >= len(items):
+            raise DialectError(
+                "infix: expression ends where an operand was expected",
+                whole, code="D004",
+            )
+        item = items[pos]
+        if self._entry(item, table) is not None:
+            raise DialectError(
+                f"infix: operator `{item.e.name}` used where an operand was "
+                "expected", whole, item, code="D004",
+            )
+        return item
+
+    def _parse_binary(
+        self,
+        items: list[Syntax],
+        pos: int,
+        min_prec: int,
+        whole: Syntax,
+        table: dict[str, _OpEntry],
+    ) -> tuple[Syntax, int]:
+        lhs = self._operand(items, pos, whole, table)
+        pos += 1
+        while pos < len(items):
+            entry = self._entry(items[pos], table)
+            if entry is None:
+                break
+            prec, assoc, target = entry
+            if prec < min_prec:
+                break
+            op = items[pos]
+            next_min = prec + 1 if assoc == "left" else prec
+            rhs, pos = self._parse_binary(items, pos + 1, next_min, whole, table)
+            # hygiene by reuse: the function position is real user syntax —
+            # the operator occurrence itself, or the declaration's target —
+            # so it resolves (and binds) with the scopes the user wrote
+            fn = target if target is not None else op
+            try:
+                loc = lhs.srcloc.merge(rhs.srcloc)
+            except Exception:
+                loc = op.srcloc
+            lhs = Syntax((fn, lhs, rhs), whole.scopes, loc)
+        return lhs, pos
+
+
+def make_infix_language(registry: ModuleRegistry) -> Language:
+    racket = registry.language("racket")
+    lang = Language("racket/infix", dialects=("infix",))
+    lang.inherit(racket)
+    registry.register_language(lang)
+    registry.register_dialect(InfixDialect())
+    return lang

@@ -40,7 +40,7 @@ def compile_module(
     """
     from repro.observe.recorder import current_recorder
 
-    lang = registry.language(lang_name)
+    lang, dialects = registry.resolve_lang_spec(lang_name)
     ctx = ExpandContext(path, registry)
     session = ctx.diagnostics
     rec = current_recorder()
@@ -68,6 +68,15 @@ def compile_module(
             for name, export in registry.kernel_exports.items():
                 if name not in lang.exports:
                     TABLE.add(Symbol(name), scopes, export.binding, phase=1)
+
+            if dialects:
+                # dialects rewrite the whole body on reader output — before
+                # module scopes are added and before any macro expansion —
+                # so their diagnostics point at pre-rewrite source
+                from repro.dialects import apply_dialects
+
+                forms = apply_dialects(dialects, forms, path, session)
+                session.raise_if_errors()
 
             body = [f.add_scope(ctx.module_scope) for f in forms]
             srcloc = forms[0].srcloc if forms else None

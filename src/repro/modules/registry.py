@@ -191,11 +191,21 @@ class Language:
     own lexical context plays for the syntax templates in its transformers.
     """
 
-    def __init__(self, name: str, exports: Optional[dict[str, Export]] = None) -> None:
+    def __init__(
+        self,
+        name: str,
+        exports: Optional[dict[str, Export]] = None,
+        *,
+        dialects: tuple[str, ...] = (),
+    ) -> None:
         from repro.syn.scopes import Scope
 
         self.name = name
         self.path = f"#%lang:{name}"
+        #: dialect names this language implies (see repro.dialects); the
+        #: registry stacks these before any dialects named with ``+`` on
+        #: the ``#lang`` line
+        self.dialect_names: tuple[str, ...] = tuple(dialects)
         self.exports: dict[str, Export] = {}
         self.scope = Scope(f"lang:{name}")
         self._anchor: Any = None
@@ -291,6 +301,8 @@ class ModuleRegistry:
 
     def __init__(self) -> None:
         self.languages: dict[str, Language] = {}
+        #: registered dialects (whole-module rewrites), parallel to languages
+        self.dialects: dict[str, Any] = {}
         self.sources: dict[str, tuple[str, list[Any]]] = {}  # path -> (lang, forms)
         self.compiled: dict[str, CompiledModule] = {}
         self._compiling: list[str] = []
@@ -320,6 +332,10 @@ class ModuleRegistry:
         self.languages[lang.name] = lang
         self.owned_scopes.add(lang.scope)
         return lang
+
+    def register_dialect(self, dialect: Any) -> Any:
+        self.dialects[dialect.name] = dialect
+        return dialect
 
     def register_py_value(self, module_path: str, name: str, value: Any) -> ModuleBinding:
         binding = ModuleBinding(module_path, Symbol(name))
@@ -390,6 +406,62 @@ class ModuleRegistry:
         if lang is None:
             raise ModuleError(f"unknown language: {name}")
         return lang
+
+    def dialect(self, name: str) -> Any:
+        from repro.errors import DialectError
+
+        dialect = self.dialects.get(name)
+        if dialect is None:
+            known = ", ".join(sorted(self.dialects)) or "none registered"
+            raise DialectError(
+                f"unknown dialect: {name} (known: {known})", code="D001"
+            )
+        return dialect
+
+    def resolve_lang_spec(self, spec: str) -> tuple[Language, tuple[Any, ...]]:
+        """Resolve a ``#lang`` line spec to a language plus dialect stack.
+
+        An exact registered language name wins (so a language named with a
+        ``+`` stays addressable); otherwise ``base+d1+d2`` names the
+        ``base`` language with dialects ``d1`` and ``d2`` stacked after
+        any dialects the language itself implies. Duplicates collapse to
+        their first (leftmost) occurrence.
+        """
+        from repro.errors import DialectError
+
+        extra: list[str] = []
+        if spec in self.languages:
+            lang = self.languages[spec]
+        elif "+" in spec:
+            head, *extra = spec.split("+")
+            lang = self.language(head)
+        else:
+            lang = self.language(spec)
+        stack: list[Any] = []
+        seen: set[str] = set()
+        for name in (*lang.dialect_names, *extra):
+            if not name:
+                raise DialectError(
+                    f"malformed #lang spec: {spec!r}", code="D001"
+                )
+            dialect = self.dialect(name)
+            if dialect.name not in seen:
+                seen.add(dialect.name)
+                stack.append(dialect)
+        return lang, tuple(stack)
+
+    def cache_lang_key(self, spec: str) -> str:
+        """The language identity folded into artifact-cache content keys.
+
+        A bare language keeps its plain name (artifact compatibility); any
+        dialect stack — implied or ``+``-stacked — appends each dialect's
+        name *and version*, so editing a dialect (and bumping its version)
+        invalidates cached artifacts exactly like editing the source.
+        """
+        _, dialects = self.resolve_lang_spec(spec)
+        if not dialects:
+            return spec
+        return f"{spec}[{','.join(d.tag for d in dialects)}]"
 
     @staticmethod
     def _requirer_note(requirer: Optional[str], srcloc: Any = None) -> str:
@@ -472,8 +544,12 @@ class ModuleRegistry:
         try:
             compiled = None
             if self.cache is not None:
+                # the cache identity of a module folds in its dialect stack
+                # (names and versions), so artifacts compiled under
+                # different dialect stacks never collide
+                cache_key = self.cache_lang_key(lang_name)
                 with rec.span("cache", f"load {path}"):
-                    compiled = self.cache.load(self, path, lang_name)
+                    compiled = self.cache.load(self, path, cache_key)
                 if compiled is None:
                     # wait-for-winner: claim the artifact before compiling.
                     # A concurrent context already compiling this exact
@@ -481,11 +557,11 @@ class ModuleRegistry:
                     # artifacts — wait for it and re-load rather than
                     # duplicating the compile.
                     claim, winner_published = self.cache.claim_writer(
-                        self, path, lang_name
+                        self, path, cache_key
                     )
                     if winner_published:
                         with rec.span("cache", f"load {path}"):
-                            compiled = self.cache.load(self, path, lang_name)
+                            compiled = self.cache.load(self, path, cache_key)
             if compiled is None:
                 compiled = compile_module(self, path, lang_name, forms)
                 self._full_keys[path] = self._compute_full_key(
@@ -498,7 +574,7 @@ class ModuleRegistry:
                 if self.cache is not None:
                     with rec.span("cache", f"store {path}"):
                         self.cache.store(
-                            self, path, lang_name, compiled,
+                            self, path, cache_key, compiled,
                             self._full_keys[path], claim=claim,
                         )
             elif self.backend == "pyc":
@@ -566,7 +642,11 @@ class ModuleRegistry:
             if full_key is not None:
                 with rec.span("cache", f"store {compiled.path}"):
                     self.cache.store(
-                        self, compiled.path, compiled.language, compiled, full_key
+                        self,
+                        compiled.path,
+                        self.cache_lang_key(compiled.language),
+                        compiled,
+                        full_key,
                     )
         return unit
 
@@ -602,7 +682,11 @@ class ModuleRegistry:
 
         dep_keys = [self._full_keys.get(dep, "?") for dep in requires]
         return content_hash(
-            str(FORMAT_VERSION), path, lang, self.source_hash(path), *dep_keys
+            str(FORMAT_VERSION),
+            path,
+            self.cache_lang_key(lang),
+            self.source_hash(path),
+            *dep_keys,
         )
 
     # -- teardown -------------------------------------------------------------

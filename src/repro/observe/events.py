@@ -31,6 +31,7 @@ CATEGORIES = frozenset(
     {
         "read",            # source text -> syntax objects
         "compile",         # whole-module compilation driver
+        "dialect",         # one dialect's whole-module rewrite
         "expand",          # macro expansion to core forms
         "macro",           # one transformer application (stepper instants)
         "parse",           # core forms -> core AST

@@ -11,7 +11,10 @@ from repro.reader.reader import read_string_all
 from repro.syn.srcloc import SrcLoc
 from repro.syn.syntax import Syntax
 
-_LANG_RE = re.compile(r"^#lang[ \t]+([A-Za-z0-9/_+.-]+)[ \t]*(\r?\n|$)")
+# after the name: optional horizontal whitespace, an optional `;` line
+# comment, and an optional CR (files with CRLF line endings split on "\n"
+# leave the "\r" behind) — none of which are part of the language name
+_LANG_RE = re.compile(r"^#lang[ \t]+([A-Za-z0-9/_+.-]+)[ \t]*(?:;[^\r\n]*)?\r?$")
 
 
 def split_lang_line(text: str, source: str = "<string>") -> tuple[Optional[str], str]:

@@ -29,7 +29,7 @@ KEYWORD = "keyword"
 DOT = "dot"
 EOF_TOK = "eof"
 
-_DELIMITERS = set("()[]\";'`,| \t\n\r")
+_DELIMITERS = set("()[]{}\";'`,| \t\n\r")
 
 
 @dataclass(frozen=True, slots=True)
@@ -111,10 +111,10 @@ class Lexer:
             return Token(EOF_TOK, "", self._loc(0))
         loc = self._loc()
         ch = self._peek()
-        if ch in "([":
+        if ch in "([{":
             self._advance()
             return Token(LPAREN, ch, loc, paren=ch)
-        if ch in ")]":
+        if ch in ")]}":
             self._advance()
             return Token(RPAREN, ch, loc, paren=ch)
         if ch == "'":

@@ -169,7 +169,7 @@ class Reader:
             return Syntax(classify_atom(tok.text, tok.srcloc), srcloc=tok.srcloc)
         raise ReaderError(f"unexpected token: {tok.text}", tok.srcloc)  # pragma: no cover
 
-    _MATCHING = {"(": ")", "[": "]"}
+    _MATCHING = {"(": ")", "[": "]", "{": "}"}
 
     def _read_list(self, open_tok: lx.Token) -> Syntax:
         items: list[Syntax] = []
@@ -209,9 +209,19 @@ class Reader:
         if tail is not None:
             if isinstance(tail.e, tuple):
                 # (a . (b c)) reads as (a b c)
-                return Syntax(tuple(items) + tail.e, srcloc=loc.merge(tail.srcloc))
-            return Syntax(ImproperList(tuple(items), tail), srcloc=loc.merge(tail.srcloc))
-        return Syntax(tuple(items), srcloc=loc)
+                stx = Syntax(tuple(items) + tail.e, srcloc=loc.merge(tail.srcloc))
+            else:
+                stx = Syntax(
+                    ImproperList(tuple(items), tail), srcloc=loc.merge(tail.srcloc)
+                )
+        else:
+            stx = Syntax(tuple(items), srcloc=loc)
+        if open_tok.paren == "{":
+            # Racket-style: braces read as plain lists, but the shape is
+            # remembered as a syntax property so dialects (e.g. infix) can
+            # give brace expressions their own meaning
+            stx = stx.property_put("paren-shape", "{")
+        return stx
 
     def _read_vector(self, open_tok: lx.Token) -> Syntax:
         items: list[Syntax] = []

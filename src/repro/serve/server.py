@@ -16,7 +16,9 @@ Protocol (all bodies JSON):
     shared cache. Response: ``{"ok": true, "output": ..., "stats": {...},
     "elapsed_ms": ...}``, or ``{"ok": false, "error": {"code": "G001",
     "message": ...}}`` — a budget kill is a well-formed response, not a
-    dropped connection.
+    dropped connection. Opt in with ``"trace": true`` to get the request's
+    observe spans back in a ``"trace"`` envelope (schema ``repro-trace/1``);
+    without it the reply is byte-for-byte what it always was.
 
 ``POST /compile``
     Either ``{"source": ...}`` (anonymous module, reports diagnostics
@@ -51,7 +53,8 @@ from typing import Any, Optional
 
 from repro.errors import ReproError
 from repro.guard.budget import resolve_budget
-from repro.observe.recorder import current_recorder, use_recorder
+from repro.observe.events import TRACE_SCHEMA
+from repro.observe.recorder import Tracer, current_recorder, use_recorder
 from repro.serve.pool import RuntimePool
 
 _REQ_IDS = itertools.count(1)
@@ -240,6 +243,9 @@ class ReproServer:
         tenant = body.get("tenant", "default")
         if not isinstance(tenant, str) or not tenant:
             raise _BadRequest('"tenant" must be a non-empty string')
+        want_trace = body.get("trace", False)
+        if not isinstance(want_trace, bool):
+            raise _BadRequest('"trace" must be a boolean')
         budget = self._budget_of(body)
 
         req = next(_REQ_IDS)
@@ -247,7 +253,14 @@ class ReproServer:
         rt = self.pool.checkout(tenant)
         module_path: Optional[str] = None
         t0 = time.perf_counter()
-        rec = rt.tracer if rt.tracer is not None else current_recorder()
+        # opt-in per-request tracing: a fresh Tracer scoped to this request
+        # so the reply can carry exactly its own spans (otherwise the
+        # server-wide tracer, or whatever recorder is already installed)
+        req_tracer = Tracer() if want_trace else None
+        if req_tracer is not None:
+            rec: Any = req_tracer
+        else:
+            rec = rt.tracer if rt.tracer is not None else current_recorder()
         try:
             with use_recorder(rec), rec.span("serve", f"{endpoint} #{req} tenant={tenant}"):
                 rt.budget = budget
@@ -279,7 +292,7 @@ class ReproServer:
                         self.errors += 1
                     return 200, self._finish(
                         rt, tenant, module_path, source is not None, t0, before,
-                        diags_before,
+                        diags_before, tracer=req_tracer,
                         ok=False,
                         error={"code": code, "message": str(err)},
                     )
@@ -288,7 +301,7 @@ class ReproServer:
                         self.errors += 1
                     return 200, self._finish(
                         rt, tenant, module_path, source is not None, t0, before,
-                        diags_before,
+                        diags_before, tracer=req_tracer,
                         ok=False,
                         error={"code": "S500", "message": f"cannot read {file}: {err.strerror or err}"},
                     )
@@ -297,7 +310,7 @@ class ReproServer:
                     payload["output"] = output
                 return 200, self._finish(
                     rt, tenant, module_path, source is not None, t0, before,
-                    diags_before, ok=True, **payload,
+                    diags_before, tracer=req_tracer, ok=True, **payload,
                 )
         finally:
             self.pool.checkin(tenant, rt)
@@ -313,6 +326,7 @@ class ReproServer:
         diags_before: int,
         *,
         ok: bool,
+        tracer: Optional[Tracer] = None,
         error: Optional[dict] = None,
         **extra: Any,
     ) -> dict:
@@ -343,6 +357,15 @@ class ReproServer:
             result["error"] = error
         if diagnostics:
             result["diagnostics"] = diagnostics
+        if tracer is not None:
+            # the enclosing "serve" span is still open here, so its closing
+            # event is absent by construction; every inner span (read,
+            # expand, compile, eval, dialect, ...) has already landed
+            result["trace"] = {
+                "schema": TRACE_SCHEMA,
+                "events": [e.to_json() for e in tracer.events],
+                "dropped": tracer.dropped,
+            }
         result.update(extra)
         return result
 

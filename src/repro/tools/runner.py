@@ -154,7 +154,9 @@ class Runtime:
     def _install_languages(self) -> None:
         from repro.langs.count import make_count_language
         from repro.langs.datalog import make_datalog_language
+        from repro.langs.infix import make_infix_language
         from repro.langs.lazy import make_lazy_language
+        from repro.langs.match_ext import make_match_ext_language
         from repro.langs.racket import make_racket_language
         from repro.langs.simple_type import make_simple_type_language
         from repro.langs.typed import make_typed_language
@@ -165,6 +167,8 @@ class Runtime:
         make_typed_language(self.registry)
         make_lazy_language(self.registry)
         make_datalog_language(self.registry)
+        make_match_ext_language(self.registry)
+        make_infix_language(self.registry)
 
     @contextmanager
     def _observed(self) -> Iterator[None]:
@@ -315,6 +319,12 @@ usage: python -m repro [options] <file.rkt>
        python -m repro cache stats
        python -m repro cache clear
        python -m repro cache doctor
+       python -m repro langs [--json]
+
+langs lists every registered language (with the dialect stack its #lang
+line implies) and every registered dialect (with the version folded into
+artifact-cache keys); --json emits the machine-readable form
+(schema repro-langs/1).
 
 serve runs the long-lived compile-and-eval service (repro.serve): JSON over
 HTTP, per-tenant Runtime pools sharing one artifact cache, and per-request
@@ -490,6 +500,60 @@ def _import_smoke_command(
         f"misses={snap.cache_misses} stores={snap.cache_stores}"
     )
     rt.close()
+    return 0
+
+
+def _langs_command(args: list[str]) -> int:
+    """``repro langs`` — list registered languages and dialects."""
+    import json
+    import sys
+
+    as_json = False
+    for arg in args:
+        if arg == "--json":
+            as_json = True
+        else:
+            print(f"error: unknown langs option: {arg}", file=sys.stderr)
+            return 2
+    rt = Runtime(cache=False)
+    try:
+        registry = rt.registry
+        # keyed by the registered spec (what a #lang line may say), so
+        # aliases list once each instead of repeating the Language's name
+        languages = [
+            {
+                "name": spec,
+                "dialects": list(lang.dialect_names),
+                "exports": len(lang.exports),
+            }
+            for spec, lang in sorted(registry.languages.items())
+        ]
+        dialects = [
+            {"name": d.name, "version": d.version}
+            for _, d in sorted(registry.dialects.items())
+        ]
+    finally:
+        rt.close()
+    if as_json:
+        print(json.dumps(
+            {
+                "schema": "repro-langs/1",
+                "languages": languages,
+                "dialects": dialects,
+            },
+            indent=2,
+            sort_keys=True,
+        ))
+        return 0
+    print("languages:")
+    for entry in languages:
+        stack = f" (dialects: {', '.join(entry['dialects'])})" if entry["dialects"] else ""
+        print(f"  {entry['name']}  {entry['exports']} exports{stack}")
+    print("dialects:")
+    if not dialects:
+        print("  (none)")
+    for entry in dialects:
+        print(f"  {entry['name']}  version {entry['version']}")
     return 0
 
 
@@ -672,6 +736,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         return serve_command(serve_args)
     if rest and rest[0] == "cache":
         return _cache_command(rest[1:], cache_dir)
+    if rest and rest[0] == "langs":
+        return _langs_command(rest[1:])
     if rest and rest[0] == "trace":
         return _trace_command(rest[1:])
     if rest and rest[0] == "import-smoke":

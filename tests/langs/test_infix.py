@@ -1,0 +1,199 @@
+"""Tests for ``#lang racket/infix``: user-defined infix/mixfix operators.
+
+Covers: the default operator table (precedence and associativity),
+``define-op`` declarations (precedence levels, right-associativity,
+rewrite targets including user macros — hygienic by reuse of the declared
+identifier), the ``:=`` and ``? :`` mixfix forms, D003/D004 diagnostics
+with pre-rewrite srclocs and multi-error collection, quote opacity,
+brace neutrality in other languages, and backend agreement.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Runtime
+from repro.errors import CompilationFailed, DialectError
+
+BACKENDS = ("interp", "pyc")
+
+CALC = """#lang racket/infix
+(define-op ^ 8 right expt)
+(displayln {1 + 2 * 3})
+(displayln {{1 + 2} * 3})
+(displayln {10 - 3 - 2})
+(displayln {2 ^ 3 ^ 2})
+(displayln {1 + 2 < 4 and 3 * 3 = 9})
+{x := 10}
+(displayln {x > 5 ? "big" : "small"})
+{(double n) := {n * 2}}
+(displayln (double 21))
+"""
+
+
+def run(source, path="<m>", **kwargs):
+    with Runtime(cache=False, **kwargs) as rt:
+        return rt.run_source(source, path)
+
+
+class TestPrecedence:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_calculator_module(self, backend):
+        out = run(CALC, backend=backend)
+        assert out == "7\n9\n5\n512\n#t\nbig\n42\n"
+
+    def test_multiplication_binds_tighter(self):
+        assert run("#lang racket/infix\n(displayln {2 + 3 * 4})\n") == "14\n"
+
+    def test_left_associativity(self):
+        assert run("#lang racket/infix\n(displayln {100 / 5 / 2})\n") == "10\n"
+
+    def test_comparison_below_arithmetic(self):
+        src = "#lang racket/infix\n(displayln {1 + 1 = 2})\n"
+        assert run(src) == "#t\n"
+
+    def test_and_or_lowest(self):
+        src = "#lang racket/infix\n(displayln {1 = 2 or 2 = 2 and 3 = 3})\n"
+        assert run(src) == "#t\n"
+
+    def test_single_operand_brace(self):
+        assert run("#lang racket/infix\n(displayln {42})\n") == "42\n"
+
+    def test_nested_braces_rewrite_innermost_first(self):
+        src = "#lang racket/infix\n(displayln {{2 + 3} * {4 - 1}})\n"
+        assert run(src) == "15\n"
+
+    def test_braces_inside_ordinary_forms(self):
+        src = "#lang racket/infix\n(define (f a b) (list {a + b} {a * b}))\n(displayln (f 2 3))\n"
+        assert run(src) == "(5 6)\n"
+
+
+class TestDefineOp:
+    def test_right_associative_operator(self):
+        src = "#lang racket/infix\n(define-op ^ 8 right expt)\n(displayln {2 ^ 3 ^ 2})\n"
+        assert run(src) == "512\n"
+
+    def test_operator_without_target_names_itself(self):
+        src = """#lang racket/infix
+(define (dot a b) (+ (* (car a) (car b)) (* (cdr a) (cdr b))))
+(define-op dot 5 left)
+(displayln {(cons 1 2) dot (cons 3 4)})
+"""
+        assert run(src) == "11\n"
+
+    def test_target_may_be_a_user_macro(self):
+        # the rewrite reuses the declaration's target identifier verbatim,
+        # so it can resolve to a macro — binding is decided where the user
+        # wrote the name, not by the dialect
+        src = """#lang racket/infix
+(define-syntax plus3 (syntax-rules () [(_ a b) (+ a b 3)]))
+(define-op +++ 4 left plus3)
+(displayln {10 +++ 20})
+"""
+        assert run(src) == "33\n"
+
+    def test_redeclaring_overrides_precedence(self):
+        src = """#lang racket/infix
+(define-op + 9 left)
+(displayln {2 + 3 * 4})
+"""
+        # + now binds tighter than *
+        assert run(src) == "20\n"
+
+
+class TestMixfix:
+    def test_walrus_defines_a_value(self):
+        src = "#lang racket/infix\n{y := 2 + 3}\n(displayln y)\n"
+        assert run(src) == "5\n"
+
+    def test_walrus_defines_a_function(self):
+        src = "#lang racket/infix\n{(square n) := {n * n}}\n(displayln (square 9))\n"
+        assert run(src) == "81\n"
+
+    def test_ternary(self):
+        src = "#lang racket/infix\n(displayln {1 < 2 ? 'yes : 'no})\n"
+        assert run(src) == "yes\n"
+
+    def test_nested_ternary_in_alternative(self):
+        src = """#lang racket/infix
+(define (sign n) {n < 0 ? -1 : n = 0 ? 0 : 1})
+(displayln (list (sign -9) (sign 0) (sign 4)))
+"""
+        assert run(src) == "(-1 0 1)\n"
+
+
+class TestOpacity:
+    def test_quoted_braces_stay_data(self):
+        src = "#lang racket/infix\n(displayln '{1 + 2})\n"
+        assert run(src) == "(1 + 2)\n"
+
+    def test_quasiquoted_braces_stay_data(self):
+        src = "#lang racket/infix\n(displayln `{3 * 4})\n"
+        assert run(src) == "(3 * 4)\n"
+
+    def test_braces_are_plain_parens_in_other_languages(self):
+        src = "#lang racket\n(displayln {+ 1 2})\n"
+        assert run(src) == "3\n"
+
+    def test_brackets_unchanged_in_infix_lang(self):
+        src = "#lang racket/infix\n(displayln (let ([a 40] [b 2]) {a + b}))\n"
+        assert run(src) == "42\n"
+
+
+class TestDiagnostics:
+    @pytest.mark.parametrize("decl", [
+        "(define-op)",
+        "(define-op ^)",
+        '(define-op "name" 5 left)',
+        "(define-op ^ high left)",
+        "(define-op ^ 5 sideways)",
+        '(define-op ^ 5 left "target")',
+        "(define-op ^ 5 left expt extra)",
+    ])
+    def test_bad_declaration_is_d003(self, decl):
+        src = f"#lang racket/infix\n{decl}\n(displayln 1)\n"
+        with pytest.raises(DialectError) as exc_info:
+            run(src)
+        assert exc_info.value.code == "D003"
+
+    @pytest.mark.parametrize("expr", [
+        "{}",
+        "{1 +}",
+        "{+ 1}",
+        "{1 2}",
+        "{1 + * 2}",
+        "{? 1 : 2}",
+        "{1 ? 2}",
+        "{1 ? : 2}",
+        "{1 ? 2 :}",
+    ])
+    def test_malformed_infix_is_d004(self, expr):
+        src = f"#lang racket/infix\n(displayln {expr})\n"
+        with pytest.raises(DialectError) as exc_info:
+            run(src)
+        assert exc_info.value.code == "D004"
+
+    def test_error_srcloc_points_at_pre_rewrite_source(self):
+        src = "#lang racket/infix\n(displayln 1)\n(displayln {3 *})\n"
+        with pytest.raises(DialectError) as exc_info:
+            run(src, "<srcloc>")
+        err = exc_info.value
+        assert err.srcloc is not None
+        assert err.srcloc.source == "<srcloc>"
+        assert err.srcloc.line == 3
+
+    def test_multiple_errors_are_collected(self):
+        # both bad forms are reported in one pass, not just the first
+        src = """#lang racket/infix
+(define-op bad)
+(displayln {1 +})
+"""
+        with pytest.raises(CompilationFailed) as exc_info:
+            run(src)
+        text = str(exc_info.value)
+        assert "D003" in text and "D004" in text
+
+
+class TestDifferential:
+    def test_backends_agree(self):
+        assert run(CALC, backend="interp") == run(CALC, backend="pyc")

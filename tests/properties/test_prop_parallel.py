@@ -35,7 +35,21 @@ def make_graph(root: str, seed: int) -> list[str]:
         deps = sorted(rng.sample(range(i), k))
         requires = "\n".join(f'(require "m{j}.rkt")' for j in deps)
         terms = " ".join([str(rng.randint(1, 9))] + [f"v{j}" for j in deps])
-        parts = [f"#lang racket\n{requires}", f"(define v{i} (+ {terms}))"]
+        if rng.random() < 0.4:
+            # dialect-bearing module: the infix rewrite runs pre-expansion
+            # on a worker thread/process, and must be just as deterministic
+            lang = "racket/infix"
+            infix_terms = " + ".join(
+                [str(rng.randint(1, 9))] + [f"v{j}" for j in deps]
+            )
+            parts = [
+                f"#lang {lang}\n{requires}",
+                f"(define v{i} {{{infix_terms}}})",
+            ]
+        else:
+            lang = "racket"
+            parts = [f"#lang {lang}\n{requires}",
+                     f"(define v{i} (+ {terms}))"]
         if rng.random() < 0.5:
             parts.append(
                 f"(define-syntax tw{i} (syntax-rules () [(_ e) (+ e e)]))"
@@ -91,3 +105,23 @@ def test_parallel_compile_is_byte_identical_to_serial(seed, tmp_path_factory):
     assert len(serial["digests"]) == len(paths)
     # and the same visible surface: every module exports the same names
     assert parallel["exports"] == serial["exports"]
+
+
+def test_dialect_stack_changes_cache_key(tmp_path):
+    """Two modules identical in path and source but compiled under different
+    dialect stacks must never share a cached artifact."""
+    with Runtime(cache_dir=str(tmp_path / "cache")) as rt:
+        reg = rt.registry
+        # the cache key decorates the spec with every dialect's name@version
+        assert reg.cache_lang_key("racket") == "racket"
+        assert reg.cache_lang_key("racket+infix") == "racket+infix[infix@1]"
+        assert reg.cache_lang_key("racket/infix") == "racket/infix[infix@1]"
+        # the decorated key is part of the artifact filename stem, so the
+        # stacks land at different files for the same path and source hash
+        plain = rt.cache.artifact_path(
+            "m.rkt", reg.cache_lang_key("racket"), "h" * 40
+        )
+        stacked = rt.cache.artifact_path(
+            "m.rkt", reg.cache_lang_key("racket+infix"), "h" * 40
+        )
+        assert plain != stacked

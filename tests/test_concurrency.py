@@ -258,6 +258,53 @@ class TestConcurrentRuntimes:
         )
         assert set(serial.results) == set(parallel.results)
 
+    def test_artifact_bytes_independent_of_dep_provenance(self, tmp_path, backend):
+        """A module's artifact bytes must not depend on whether its deps
+        were compiled in-memory by the same Runtime or loaded from cache
+        by a fresh one — the situation every parallel worker is in.
+
+        Regression: ``marshal`` chooses between writing a string and
+        emitting a back-reference by object identity and interned-ness,
+        which vary with process compile history; pyc units are now
+        canonicalized before marshalling so the bytes are value-determined.
+        """
+        mods = {
+            "m0.rkt": "#lang racket\n\n(define v0 (+ 7))\n"
+                      "(define-syntax tw0 (syntax-rules () [(_ e) (+ e e)]))\n"
+                      "(define (f0 x) (tw0 (+ x v0)))\n(provide v0 f0)\n",
+            "m1.rkt": '#lang racket/infix\n(require "m0.rkt")\n'
+                      "(define v1 {7 + v0})\n(define (f1 x) (* x v1))\n"
+                      "(provide v1 f1)\n",
+            "m2.rkt": '#lang racket\n(require "m0.rkt")\n'
+                      "(define v2 (+ 1 v0))\n(define (f2 x) (* x v2))\n"
+                      "(define hidden2 37)\n(provide v2 f2)\n",
+            "m3.rkt": '#lang racket/infix\n(require "m0.rkt")\n'
+                      '(require "m1.rkt")\n(require "m2.rkt")\n'
+                      "(define v3 {5 + v0 + v1 + v2})\n"
+                      "(define (f3 x) (* x v3))\n(provide v3 f3)\n",
+        }
+        src = tmp_path / "src"
+        os.makedirs(src, exist_ok=True)
+        paths = []
+        for name, text in mods.items():
+            path = src / name
+            path.write_text(text, encoding="utf-8")
+            paths.append(str(path))
+
+        one = str(tmp_path / "one")
+        with Runtime(cache_dir=one, backend=backend) as rt:
+            for path in paths:
+                rt.compile(rt.register_file(path))
+
+        split = str(tmp_path / "split")
+        with Runtime(cache_dir=split, backend=backend) as rt:
+            for path in paths[:3]:
+                rt.compile(rt.register_file(path))
+        with Runtime(cache_dir=split, backend=backend) as rt:
+            rt.compile(rt.register_file(paths[3]))
+
+        assert artifact_digests(one) == artifact_digests(split)
+
 
 class TestBindingTableRaceRegressions:
     """Pin the fixes from this PR's thread-safety audit of the table."""

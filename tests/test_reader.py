@@ -258,6 +258,34 @@ class TestLangLine:
         lang, body = split_lang_line("(+ 1 2)")
         assert lang is None
 
+    def test_trailing_line_comment(self):
+        # `#lang typed ; my notes` — the comment is not part of the name
+        lang, body = split_lang_line("#lang typed ; my notes\n(+ 1 2)")
+        assert lang == "typed"
+        assert "(+ 1 2)" in body
+
+    def test_trailing_comment_without_space(self):
+        lang, _ = split_lang_line("#lang racket;inline note\nx")
+        assert lang == "racket"
+
+    def test_crlf_line_ending(self):
+        # CRLF files split on "\n" leave the "\r" behind on the lang line
+        lang, body = split_lang_line("#lang racket\r\n(+ 1 2)\r\n")
+        assert lang == "racket"
+        assert "(+ 1 2)" in body
+
+    def test_trailing_spaces(self):
+        lang, _ = split_lang_line("#lang racket   \t\nx")
+        assert lang == "racket"
+
+    def test_comment_and_crlf_combined(self):
+        lang, _ = split_lang_line("#lang racket ; note\r\nx")
+        assert lang == "racket"
+
+    def test_garbage_after_name_still_rejected(self):
+        lang, _ = split_lang_line("#lang racket extra-token\nx")
+        assert lang is None
+
     def test_read_module_source(self):
         lang, forms = read_module_source("#lang racket\n(+ 1 2)\n(* 3 4)")
         assert lang == "racket"

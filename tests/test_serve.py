@@ -135,6 +135,48 @@ class TestBudgets:
             assert ok["ok"] is True
 
 
+class TestTrace:
+    def test_trace_opt_in_returns_spans(self, srv):
+        status, payload = srv.handle(
+            "POST", "/run", {"source": HELLO, "trace": True}
+        )
+        assert status == 200 and payload["ok"] is True
+        assert payload["output"] == "42\n"
+        trace = payload["trace"]
+        assert trace["schema"] == "repro-trace/1"
+        assert trace["dropped"] == 0
+        assert trace["events"], "a cold compile+run must produce spans"
+        for event in trace["events"]:
+            assert event["kind"] in ("X", "I")
+            assert isinstance(event["cat"], str) and event["cat"]
+            assert isinstance(event["name"], str)
+            assert isinstance(event["ts"], float)
+        # the whole pipeline ran under the request recorder
+        cats = {e["cat"] for e in trace["events"]}
+        assert {"read", "expand", "compile"} <= cats
+        # and the envelope is JSON-serializable as-is
+        json.dumps(payload)
+
+    def test_trace_sees_dialect_spans(self, srv):
+        src = "#lang racket/infix\n(displayln {2 + 3 * 4})\n"
+        _, payload = srv.handle("POST", "/run", {"source": src, "trace": True})
+        assert payload["ok"] is True and payload["output"] == "14\n"
+        cats = {e["cat"] for e in payload["trace"]["events"]}
+        assert "dialect" in cats
+
+    def test_default_path_has_no_trace(self, srv):
+        _, payload = srv.handle("POST", "/run", {"source": HELLO})
+        assert "trace" not in payload
+        _, payload = srv.handle(
+            "POST", "/run", {"source": HELLO, "trace": False}
+        )
+        assert "trace" not in payload
+
+    def test_trace_must_be_boolean(self, srv):
+        with pytest.raises(_BadRequest):
+            srv.handle("POST", "/run", {"source": HELLO, "trace": "yes"})
+
+
 class TestValidation:
     @pytest.mark.parametrize("body", [
         None,
